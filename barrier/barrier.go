@@ -1,0 +1,106 @@
+// Package barrier provides reusable spin barriers for a fixed set of
+// concurrent participants, implementing the algorithms studied in
+// "Optimizing Barrier Synchronization on ARMv8 Many-Core Architectures"
+// (CLUSTER 2021):
+//
+//   - Central     — sense-reversing centralized barrier (SENSE; the GNU
+//     libgomp algorithm)
+//   - Dissemination — the log2(P)-round pairwise barrier (DIS)
+//   - Combining   — software combining tree (CMB)
+//   - MCS         — the Mellor-Crummey–Scott 4-ary/binary tree barrier
+//   - Tournament  — pairwise static tournament (TOUR)
+//   - FWay        — static/dynamic f-way tournaments (STOUR, DTOUR)
+//   - Hyper       — hypercube-embedded tree (the LLVM libomp barrier)
+//   - Optimized   — the paper's contribution: cacheline-padded arrival
+//     flags, fixed fan-in 4, cluster-aware grouping, and a global /
+//     binary-tree / NUMA-aware-tree wake-up
+//
+// All barriers are allocated for a fixed participant count P and are
+// reusable: participants may call Wait in a loop without
+// re-initialization (sense reversal replaces the Re-initialization-
+// Phase). Participants are identified by an ID in [0, P); each ID must
+// be used by exactly one goroutine at a time.
+//
+// These are spin barriers, as in the paper: they trade CPU for latency
+// and are intended for one goroutine per core (set GOMAXPROCS
+// accordingly). Waiters yield to the Go scheduler periodically, so
+// correctness does not depend on having a dedicated core, but
+// performance does.
+package barrier
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier synchronizes a fixed group of participants. Implementations
+// in this package are safe for concurrent use by their P participants
+// and reusable across any number of rounds.
+type Barrier interface {
+	// Wait blocks participant id until all P participants of the
+	// current round have called Wait. It panics if id is outside
+	// [0, P).
+	Wait(id int)
+	// Participants returns P.
+	Participants() int
+	// Name identifies the algorithm configuration.
+	Name() string
+}
+
+// cacheLine is the padding granularity. 128 bytes covers the 64-byte
+// lines of the studied machines plus adjacent-line prefetching, and
+// matches Kunpeng920's 128-byte L3 granularity.
+const cacheLine = 128
+
+// paddedUint32 is a 32-bit flag alone on its cacheline — the paper's
+// arrival-flag padding optimization.
+type paddedUint32 struct {
+	v atomic.Uint32
+	_ [cacheLine - 4]byte
+}
+
+// spinYieldEvery bounds busy-spinning: after this many failed polls the
+// waiter yields to the Go scheduler so oversubscribed configurations
+// (P > GOMAXPROCS) still make progress.
+const spinYieldEvery = 128
+
+// spinUntilEq polls an atomic flag until it equals want.
+func spinUntilEq(f *atomic.Uint32, want uint32) {
+	for i := 1; f.Load() != want; i++ {
+		if i%spinYieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// checkID panics for an out-of-range participant, naming the barrier.
+func checkID(id, p int, name string) {
+	if id < 0 || id >= p {
+		panic(fmt.Sprintf("barrier: %s: participant %d outside [0,%d)", name, id, p))
+	}
+}
+
+// checkP panics for an invalid participant count.
+func checkP(p int, name string) {
+	if p < 1 {
+		panic(fmt.Sprintf("barrier: %s: participant count %d < 1", name, p))
+	}
+}
+
+// Run starts P goroutines, one per participant of b, each executing
+// body(id), and returns when all complete. It is a convenience for
+// examples, tests and benchmarks.
+func Run(b Barrier, body func(id int)) {
+	var wg sync.WaitGroup
+	p := b.Participants()
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(id)
+	}
+	wg.Wait()
+}

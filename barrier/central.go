@@ -1,0 +1,45 @@
+package barrier
+
+// Central is the sense-reversing centralized barrier (SENSE): one
+// shared atomic counter plus one global sense flag. It is the
+// algorithm GNU libgomp uses for the OpenMP barrier primitive, and the
+// paper's Figure 7(a) shows its overhead growing linearly with thread
+// count on ARMv8 many-cores — it is provided as the baseline, not as a
+// recommendation.
+type Central struct {
+	p       int
+	counter paddedUint32
+	gsense  paddedUint32
+	local   []paddedUint32 // per-participant local sense
+}
+
+// NewCentral builds a centralized barrier for p participants.
+func NewCentral(p int) *Central {
+	checkP(p, "central")
+	return &Central{p: p, local: make([]paddedUint32, p)}
+}
+
+// Name implements Barrier.
+func (b *Central) Name() string { return "central" }
+
+// Participants implements Barrier.
+func (b *Central) Participants() int { return b.p }
+
+// Wait implements Barrier.
+func (b *Central) Wait(id int) {
+	checkID(id, b.p, "central")
+	mySense := 1 - b.local[id].v.Load()
+	b.local[id].v.Store(mySense)
+	if b.p == 1 {
+		return
+	}
+	if int(b.counter.v.Add(1)) == b.p {
+		// Last arriver: reset for the next round, release everyone.
+		b.counter.v.Store(0)
+		b.gsense.v.Store(mySense)
+		return
+	}
+	spinUntilEq(&b.gsense.v, mySense)
+}
+
+var _ Barrier = (*Central)(nil)

@@ -1,0 +1,69 @@
+package barrier
+
+import "armbarrier/model"
+
+// Dissemination is the dissemination barrier (DIS): ceil(log2 P)
+// rounds of pairwise signalling, no Notification-Phase. Flags use the
+// Mellor-Crummey–Scott parity + sense-reversal scheme, so the barrier
+// is reusable without resets. Every flag is padded to its own
+// cacheline.
+type Dissemination struct {
+	p      int
+	rounds int
+	// flags[parity][round] holds one padded flag per participant,
+	// written by the participant's round partner.
+	flags [2][][]paddedUint32
+	local []disseminationLocal
+}
+
+type disseminationLocal struct {
+	parity int
+	sense  uint32
+	_      [cacheLine - 12]byte
+}
+
+// NewDissemination builds a dissemination barrier for p participants.
+func NewDissemination(p int) *Dissemination {
+	checkP(p, "dissemination")
+	d := &Dissemination{p: p, rounds: model.DisseminationRounds(p)}
+	for par := 0; par < 2; par++ {
+		d.flags[par] = make([][]paddedUint32, d.rounds)
+		for r := range d.flags[par] {
+			d.flags[par][r] = make([]paddedUint32, p)
+		}
+	}
+	d.local = make([]disseminationLocal, p)
+	for i := range d.local {
+		d.local[i].sense = 1
+	}
+	return d
+}
+
+// Name implements Barrier.
+func (d *Dissemination) Name() string { return "dissemination" }
+
+// Participants implements Barrier.
+func (d *Dissemination) Participants() int { return d.p }
+
+// Wait implements Barrier.
+func (d *Dissemination) Wait(id int) {
+	checkID(id, d.p, "dissemination")
+	if d.p == 1 {
+		return
+	}
+	l := &d.local[id]
+	par, sense := l.parity, l.sense
+	stride := 1
+	for r := 0; r < d.rounds; r++ {
+		partner := (id + stride) % d.p
+		d.flags[par][r][partner].v.Store(sense)
+		spinUntilEq(&d.flags[par][r][id].v, sense)
+		stride *= 2
+	}
+	if par == 1 {
+		l.sense = 1 - sense
+	}
+	l.parity = 1 - par
+}
+
+var _ Barrier = (*Dissemination)(nil)

@@ -1,0 +1,339 @@
+package barrier
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"armbarrier/model"
+	"armbarrier/topology"
+)
+
+// WakeupKind selects the Notification-Phase strategy of an f-way
+// tournament barrier (Section V-C of the paper).
+type WakeupKind int
+
+const (
+	// WakeGlobal: the champion writes one shared sense flag that every
+	// thread polls (Equation 3). Best on Kunpeng920.
+	WakeGlobal WakeupKind = iota
+	// WakeBinaryTree: the release propagates down the binary tree
+	// n -> 2n+1, 2n+2 (Equation 4).
+	WakeBinaryTree
+	// WakeNUMATree: the paper's NUMA-aware tree (Equation 5); cluster
+	// masters wake two other masters plus their cluster-local slaves.
+	// Best on Phytium 2000+ and ThunderX2.
+	WakeNUMATree
+)
+
+func (w WakeupKind) String() string {
+	switch w {
+	case WakeGlobal:
+		return "global"
+	case WakeBinaryTree:
+		return "bintree"
+	case WakeNUMATree:
+		return "numatree"
+	}
+	return "wakeup?"
+}
+
+// FWayConfig configures an f-way tournament barrier.
+type FWayConfig struct {
+	// Schedule holds per-round fan-ins; nil selects the original
+	// balanced schedule model.FanInSchedule(P, 8).
+	Schedule []int
+	// Padded places each arrival flag on its own cacheline (the
+	// paper's Section V-B1 optimization). False packs flags 32-bit
+	// dense, reproducing the original algorithm's sibling interference.
+	Padded bool
+	// Dynamic selects runtime winner election with per-group atomic
+	// counters (DTOUR). Requires WakeGlobal.
+	Dynamic bool
+	// Wakeup selects the Notification-Phase strategy.
+	Wakeup WakeupKind
+	// ClusterSize is N_c for the NUMA-aware wake-up tree; 0 defaults
+	// to 4 (the core-group size of Phytium 2000+ and Kunpeng920).
+	ClusterSize int
+	// Ranks optionally permutes participants: Ranks[id] is the
+	// tournament rank of participant id. Use topology-aware ranks (see
+	// ClusterMajorRanks) to keep early rounds inside a core cluster.
+	// Nil means identity.
+	Ranks []int
+	// Name overrides the generated display name.
+	Name string
+}
+
+// FWay is the static or dynamic f-way tournament barrier.
+type FWay struct {
+	p            int
+	sched        []int
+	participants []int
+	dynamic      bool
+	// Static arrival flags: flat per round; flags[r][g*(f-1)+(j-1)].
+	flagsPadded [][]paddedUint32
+	flagsPacked [][]atomic.Uint32
+	padded      bool
+	// Dynamic arrival counters, one per group per round.
+	counters [][]fwayCounter
+	// Wake-up state.
+	wakeKind WakeupKind
+	gsense   paddedUint32
+	wakeFlag []paddedUint32
+	// children[rank] holds the wake-up tree children, precomputed so
+	// Wait performs no allocations.
+	children [][]int
+	ranks    []int
+	local    []paddedUint32 // per-participant sense
+	name     string
+}
+
+type fwayCounter struct {
+	v    atomic.Uint32
+	size uint32
+	_    [cacheLine - 8]byte
+}
+
+// NewFWay builds an f-way tournament barrier for p participants.
+func NewFWay(p int, cfg FWayConfig) *FWay {
+	checkP(p, "fway")
+	if cfg.Dynamic && cfg.Wakeup != WakeGlobal {
+		panic("barrier: dynamic f-way tournament requires WakeGlobal")
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = model.FanInSchedule(p, 8)
+	}
+	nc := cfg.ClusterSize
+	if nc == 0 {
+		nc = 4
+	}
+	ranks := cfg.Ranks
+	if ranks == nil {
+		ranks = make([]int, p)
+		for i := range ranks {
+			ranks[i] = i
+		}
+	} else {
+		if err := validateRanks(p, ranks); err != nil {
+			panic(err)
+		}
+		ranks = append([]int(nil), ranks...)
+	}
+	f := &FWay{
+		p:            p,
+		sched:        sched,
+		participants: model.ScheduleLevels(p, sched),
+		dynamic:      cfg.Dynamic,
+		padded:       cfg.Padded,
+		wakeKind:     cfg.Wakeup,
+		ranks:        ranks,
+		local:        make([]paddedUint32, p),
+		name:         cfg.Name,
+	}
+	if f.name == "" {
+		f.name = fwayName(cfg)
+	}
+	for r, fr := range sched {
+		groups := (f.participants[r] + fr - 1) / fr
+		switch {
+		case cfg.Dynamic:
+			cnts := make([]fwayCounter, groups)
+			for g := range cnts {
+				size := fr
+				if rem := f.participants[r] - g*fr; rem < size {
+					size = rem
+				}
+				cnts[g].size = uint32(size)
+			}
+			f.counters = append(f.counters, cnts)
+		case cfg.Padded:
+			f.flagsPadded = append(f.flagsPadded, make([]paddedUint32, groups*(fr-1)))
+		default:
+			f.flagsPacked = append(f.flagsPacked, make([]atomic.Uint32, groups*(fr-1)))
+		}
+	}
+	switch cfg.Wakeup {
+	case WakeGlobal:
+	case WakeBinaryTree:
+		f.wakeFlag = make([]paddedUint32, p)
+		f.children = make([][]int, p)
+		for r := 0; r < p; r++ {
+			f.children[r] = model.BinaryTreeChildren(r, p)
+		}
+	case WakeNUMATree:
+		f.wakeFlag = make([]paddedUint32, p)
+		f.children = make([][]int, p)
+		for r := 0; r < p; r++ {
+			f.children[r] = model.NUMATreeChildren(r, p, nc)
+		}
+	default:
+		panic(fmt.Sprintf("barrier: unknown wakeup kind %d", cfg.Wakeup))
+	}
+	return f
+}
+
+func fwayName(cfg FWayConfig) string {
+	base := "stour"
+	if cfg.Dynamic {
+		base = "dtour"
+	}
+	if cfg.Padded {
+		base += "-pad"
+	}
+	if cfg.Wakeup != WakeGlobal {
+		base += "-" + cfg.Wakeup.String()
+	}
+	return base
+}
+
+func validateRanks(p int, ranks []int) error {
+	if len(ranks) != p {
+		return fmt.Errorf("barrier: %d ranks for %d participants", len(ranks), p)
+	}
+	seen := make([]bool, p)
+	for id, r := range ranks {
+		if r < 0 || r >= p {
+			return fmt.Errorf("barrier: rank %d of participant %d out of range", r, id)
+		}
+		if seen[r] {
+			return fmt.Errorf("barrier: duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// ClusterMajorRanks computes a rank permutation that orders
+// participants cluster-by-cluster for a given machine and pinning, so
+// the early tournament rounds synchronize within a core cluster. It is
+// the software analogue of the paper's thread-grouping strategy.
+func ClusterMajorRanks(m *topology.Machine, place topology.Placement) ([]int, error) {
+	if err := place.Validate(m); err != nil {
+		return nil, err
+	}
+	p := len(place)
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := m.ClusterOf(place[order[a]]), m.ClusterOf(place[order[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	ranks := make([]int, p)
+	for r, id := range order {
+		ranks[id] = r
+	}
+	return ranks, nil
+}
+
+// Name implements Barrier.
+func (f *FWay) Name() string { return f.name }
+
+// Participants implements Barrier.
+func (f *FWay) Participants() int { return f.p }
+
+// Wait implements Barrier.
+func (f *FWay) Wait(id int) {
+	checkID(id, f.p, f.name)
+	sense := 1 - f.local[id].v.Load()
+	f.local[id].v.Store(sense)
+	if f.p == 1 {
+		return
+	}
+	rank := f.ranks[id]
+	if f.dynamic {
+		f.waitDynamic(rank, sense)
+		return
+	}
+	f.waitStatic(rank, sense)
+}
+
+func (f *FWay) flag(r, idx int) *atomic.Uint32 {
+	if f.padded {
+		return &f.flagsPadded[r][idx].v
+	}
+	return &f.flagsPacked[r][idx]
+}
+
+func (f *FWay) waitStatic(rank int, sense uint32) {
+	stride := 1
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		pidx := rank / stride
+		group := pidx / fr
+		j := pidx % fr
+		if j != 0 {
+			// Statically-determined loser.
+			f.flag(r, group*(fr-1)+(j-1)).Store(sense)
+			f.wakeWait(rank, sense)
+			return
+		}
+		for cj := 1; cj < fr; cj++ {
+			if rank+cj*stride < f.p {
+				spinUntilEq(f.flag(r, group*(fr-1)+(cj-1)), sense)
+			}
+		}
+		stride *= fr
+	}
+	f.wakeSignal(sense)
+}
+
+func (f *FWay) waitDynamic(rank int, sense uint32) {
+	idx := rank
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		group := idx / fr
+		cnt := &f.counters[r][group]
+		if cnt.size > 1 {
+			if cnt.v.Add(1) != cnt.size {
+				f.wakeWait(rank, sense)
+				return
+			}
+			cnt.v.Store(0)
+		}
+		idx = group
+	}
+	f.wakeSignal(sense)
+}
+
+// wakeSignal runs the champion's Notification-Phase.
+func (f *FWay) wakeSignal(sense uint32) {
+	if f.wakeKind == WakeGlobal {
+		f.gsense.v.Store(sense)
+		return
+	}
+	for _, c := range f.children[0] {
+		f.wakeFlag[c].v.Store(sense)
+	}
+}
+
+// wakeWait blocks a non-champion until released, forwarding tree
+// releases to its own subtree.
+func (f *FWay) wakeWait(rank int, sense uint32) {
+	if f.wakeKind == WakeGlobal {
+		spinUntilEq(&f.gsense.v, sense)
+		return
+	}
+	spinUntilEq(&f.wakeFlag[rank].v, sense)
+	for _, c := range f.children[rank] {
+		f.wakeFlag[c].v.Store(sense)
+	}
+}
+
+var _ Barrier = (*FWay)(nil)
+
+// NewStaticFWay builds the original static f-way tournament (STOUR):
+// balanced fan-ins, packed flags, global wake-up.
+func NewStaticFWay(p int) *FWay {
+	return NewFWay(p, FWayConfig{Wakeup: WakeGlobal, Name: "stour"})
+}
+
+// NewDynamicFWay builds the dynamic f-way tournament (DTOUR).
+func NewDynamicFWay(p int) *FWay {
+	return NewFWay(p, FWayConfig{Dynamic: true, Wakeup: WakeGlobal, Name: "dtour"})
+}

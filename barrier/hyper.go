@@ -1,0 +1,83 @@
+package barrier
+
+import "fmt"
+
+// Hyper is the hypercube-embedded tree barrier of LLVM's OpenMP
+// runtime (libomp's default "hyper" barrier): a gather phase over
+// strides of powers of the branch factor followed by a mirrored
+// release phase, with cache-aligned per-thread flags.
+type Hyper struct {
+	p       int
+	branch  int
+	arrive  []paddedUint32
+	release []paddedUint32
+	local   []paddedUint32 // per-participant sense
+}
+
+// NewHyper builds the hypercube barrier with libomp's default branch
+// factor of 4.
+func NewHyper(p int) *Hyper { return NewHyperBranch(p, 4) }
+
+// NewHyperBranch builds the hypercube barrier with an explicit branch
+// factor.
+func NewHyperBranch(p, branch int) *Hyper {
+	checkP(p, "hyper")
+	if branch < 2 {
+		panic(fmt.Sprintf("barrier: hyper branch %d < 2", branch))
+	}
+	return &Hyper{
+		p:       p,
+		branch:  branch,
+		arrive:  make([]paddedUint32, p),
+		release: make([]paddedUint32, p),
+		local:   make([]paddedUint32, p),
+	}
+}
+
+// Name implements Barrier.
+func (h *Hyper) Name() string { return "hyper" }
+
+// Participants implements Barrier.
+func (h *Hyper) Participants() int { return h.p }
+
+// Wait implements Barrier.
+func (h *Hyper) Wait(id int) {
+	checkID(id, h.p, "hyper")
+	sense := 1 - h.local[id].v.Load()
+	h.local[id].v.Store(sense)
+	if h.p == 1 {
+		return
+	}
+	b := h.branch
+	// Gather.
+	for s := 1; s < h.p; s *= b {
+		if id%(b*s) != 0 {
+			h.arrive[id].v.Store(sense)
+			break
+		}
+		for j := 1; j < b; j++ {
+			if child := id + j*s; child < h.p {
+				spinUntilEq(&h.arrive[child].v, sense)
+			}
+		}
+	}
+	// Release.
+	if id != 0 {
+		spinUntilEq(&h.release[id].v, sense)
+	}
+	top := 1
+	for top*b < h.p {
+		top *= b
+	}
+	for s := top; s >= 1; s /= b {
+		if id%(b*s) == 0 {
+			for j := 1; j < b; j++ {
+				if child := id + j*s; child < h.p {
+					h.release[child].v.Store(sense)
+				}
+			}
+		}
+	}
+}
+
+var _ Barrier = (*Hyper)(nil)

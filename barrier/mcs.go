@@ -1,0 +1,81 @@
+package barrier
+
+import (
+	"sync/atomic"
+
+	"armbarrier/model"
+)
+
+// MCS is the Mellor-Crummey–Scott tree barrier: every participant is a
+// node of a static 4-ary arrival tree (children of i are 4i+1..4i+4)
+// and of a binary wake-up tree. As in the original algorithm, a node's
+// four child-arrival flags share one cacheline; the wake-up flags are
+// padded. The paper finds the packed arrival line and the
+// cluster-oblivious tree shape make MCS lose to the tournament
+// barriers on clustered ARMv8 parts.
+type MCS struct {
+	p      int
+	arrive []mcsArrivalNode
+	wake   []paddedUint32
+	local  []paddedUint32 // per-participant sense
+	// wakeKids[i] holds i's binary-tree children, precomputed so Wait
+	// performs no allocations.
+	wakeKids [][]int
+}
+
+// mcsArrivalNode packs the 4 child flags into one line, as in the
+// original "childnotready" word.
+type mcsArrivalNode struct {
+	child [4]atomic.Uint32
+	_     [cacheLine - 16]byte
+}
+
+// NewMCS builds the MCS tree barrier.
+func NewMCS(p int) *MCS {
+	checkP(p, "mcs")
+	m := &MCS{
+		p:        p,
+		arrive:   make([]mcsArrivalNode, p),
+		wake:     make([]paddedUint32, p),
+		local:    make([]paddedUint32, p),
+		wakeKids: make([][]int, p),
+	}
+	for i := 0; i < p; i++ {
+		m.wakeKids[i] = model.BinaryTreeChildren(i, p)
+	}
+	return m
+}
+
+// Name implements Barrier.
+func (m *MCS) Name() string { return "mcs" }
+
+// Participants implements Barrier.
+func (m *MCS) Participants() int { return m.p }
+
+// Wait implements Barrier.
+func (m *MCS) Wait(id int) {
+	checkID(id, m.p, "mcs")
+	sense := 1 - m.local[id].v.Load()
+	m.local[id].v.Store(sense)
+	if m.p == 1 {
+		return
+	}
+	// Arrival: gather my 4-ary children, then notify my parent.
+	for j := 0; j < 4; j++ {
+		if child := 4*id + j + 1; child < m.p {
+			spinUntilEq(&m.arrive[id].child[j], sense)
+		}
+	}
+	if id != 0 {
+		parent := (id - 1) / 4
+		m.arrive[parent].child[(id-1)%4].Store(sense)
+		// Wake-up: wait on my own padded flag.
+		spinUntilEq(&m.wake[id].v, sense)
+	}
+	// Release my binary-tree children.
+	for _, c := range m.wakeKids[id] {
+		m.wake[c].v.Store(sense)
+	}
+}
+
+var _ Barrier = (*MCS)(nil)

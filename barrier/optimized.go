@@ -1,0 +1,92 @@
+package barrier
+
+import (
+	"armbarrier/model"
+	"armbarrier/topology"
+)
+
+// OptimizedConfig configures the paper's optimized barrier. The zero
+// value is usable: it assumes a generic clustered machine with core
+// groups of 4 and picks the NUMA-aware tree wake-up.
+type OptimizedConfig struct {
+	// Machine, when set, supplies the cluster size N_c and lets the
+	// constructor pick the wake-up strategy the paper's model prefers
+	// for that machine (global on Kunpeng920, NUMA-aware tree on
+	// Phytium 2000+ and ThunderX2).
+	Machine *topology.Machine
+	// Placement, with Machine, describes where each participant runs;
+	// the constructor then ranks participants cluster-major so early
+	// arrival rounds stay inside a core cluster. Nil assumes compact
+	// pinning (participant i on core i).
+	Placement topology.Placement
+	// Wakeup forces a Notification-Phase strategy. Leave as
+	// WakeAuto to let the model decide.
+	Wakeup WakeupChoice
+}
+
+// WakeupChoice is WakeupKind plus an "auto" sentinel for
+// OptimizedConfig.
+type WakeupChoice int
+
+// Wake-up choices for OptimizedConfig.
+const (
+	WakeAuto WakeupChoice = iota
+	ChooseGlobal
+	ChooseBinaryTree
+	ChooseNUMATree
+)
+
+// NewOptimized builds the paper's optimized barrier for p
+// participants: static 4-way tournament arrival with every flag padded
+// to its own cacheline, cluster-aware thread grouping, and the
+// configured (or model-chosen) wake-up strategy. This is the
+// implementation the paper reports as 12.6x faster than GCC's barrier,
+// 4.7x faster than LLVM's, and 1.6x faster than the best prior
+// algorithm on ARMv8 many-cores.
+func NewOptimized(p int, cfg OptimizedConfig) *FWay {
+	checkP(p, "optimized")
+	nc := 4
+	var ranks []int
+	wake := WakeNUMATree
+	if cfg.Machine != nil {
+		nc = cfg.Machine.ClusterSize
+		if model.PredictWakeup(cfg.Machine, p) == "global" {
+			wake = WakeGlobal
+		}
+		place := cfg.Placement
+		if place == nil {
+			if c, err := topology.Compact(cfg.Machine, p); err == nil {
+				place = c
+			}
+		}
+		if place != nil {
+			if r, err := ClusterMajorRanks(cfg.Machine, place); err == nil {
+				ranks = r
+			}
+		}
+	}
+	switch cfg.Wakeup {
+	case WakeAuto:
+	case ChooseGlobal:
+		wake = WakeGlobal
+	case ChooseBinaryTree:
+		wake = WakeBinaryTree
+	case ChooseNUMATree:
+		wake = WakeNUMATree
+	}
+	return NewFWay(p, FWayConfig{
+		Schedule:    model.FixedFanInSchedule(p, 4),
+		Padded:      true,
+		Wakeup:      wake,
+		ClusterSize: nc,
+		Ranks:       ranks,
+		Name:        "optimized",
+	})
+}
+
+// New returns the recommended barrier for p participants: the
+// optimized barrier with default configuration. It is the package's
+// "just give me a fast barrier" entry point.
+func New(p int) Barrier {
+	return NewOptimized(p, OptimizedConfig{})
+}

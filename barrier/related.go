@@ -1,0 +1,282 @@
+package barrier
+
+import (
+	"fmt"
+
+	"armbarrier/topology"
+)
+
+// This file provides goroutine implementations of the related-work
+// algorithms discussed in the paper's Section VII: the n-way
+// dissemination barrier (Hoefler et al.), the hybrid two-level barrier
+// (Rodchenko et al.) and a ring barrier (after Aravind).
+
+// NWayDissemination is the dissemination barrier generalized to n
+// partners per round, cutting the round count to ceil(log_{n+1} P).
+type NWayDissemination struct {
+	p      int
+	n      int
+	rounds int
+	// flags[parity][round] has n padded slots per participant.
+	flags [2][][]paddedUint32
+	local []disseminationLocal
+}
+
+// NewNWayDissemination builds the barrier with n partners per round.
+// n = 1 degenerates to the classic dissemination barrier.
+func NewNWayDissemination(p, n int) *NWayDissemination {
+	checkP(p, "ndis")
+	if n < 1 {
+		panic(fmt.Sprintf("barrier: n-way dissemination with n=%d", n))
+	}
+	rounds := 0
+	for span := 1; span < p; span *= n + 1 {
+		rounds++
+	}
+	d := &NWayDissemination{p: p, n: n, rounds: rounds, local: make([]disseminationLocal, p)}
+	for i := range d.local {
+		d.local[i].sense = 1
+	}
+	for par := 0; par < 2; par++ {
+		d.flags[par] = make([][]paddedUint32, rounds)
+		for r := range d.flags[par] {
+			d.flags[par][r] = make([]paddedUint32, p*n)
+		}
+	}
+	return d
+}
+
+// Name implements Barrier.
+func (d *NWayDissemination) Name() string { return fmt.Sprintf("ndis%d", d.n) }
+
+// Participants implements Barrier.
+func (d *NWayDissemination) Participants() int { return d.p }
+
+// Wait implements Barrier.
+func (d *NWayDissemination) Wait(id int) {
+	checkID(id, d.p, "ndis")
+	if d.p == 1 {
+		return
+	}
+	l := &d.local[id]
+	par, sense := l.parity, l.sense
+	span := 1
+	for r := 0; r < d.rounds; r++ {
+		for m := 1; m <= d.n; m++ {
+			partner := (id + m*span) % d.p
+			d.flags[par][r][partner*d.n+(m-1)].v.Store(sense)
+		}
+		for m := 1; m <= d.n; m++ {
+			spinUntilEq(&d.flags[par][r][id*d.n+(m-1)].v, sense)
+		}
+		span *= d.n + 1
+	}
+	if par == 1 {
+		l.sense = 1 - sense
+	}
+	l.parity = 1 - par
+}
+
+var _ Barrier = (*NWayDissemination)(nil)
+
+// Hybrid is the two-level barrier of Rodchenko et al.: a centralized
+// sense-reversing barrier within each core cluster plus a
+// dissemination barrier among the clusters' last arrivers. The cluster
+// assignment comes from a machine description and placement, defaulting
+// to clusters of 4 consecutive participants.
+type Hybrid struct {
+	p        int
+	clusters int
+	cluster  []int // participant -> dense cluster index
+	size     []int // cluster -> member count
+	counter  []fwayCounter
+	release  []paddedUint32
+	rounds   int
+	flags    [2][][]paddedUint32
+	// Per-cluster dissemination parity/sense, owned by whichever
+	// participant represents the cluster in an episode (exactly one per
+	// episode; the cluster release orders the handoff).
+	repState []disseminationLocal
+	local    []paddedUint32 // per-participant sense
+}
+
+// HybridConfig configures NewHybrid. The zero value groups
+// participants into clusters of 4.
+type HybridConfig struct {
+	// Machine and Placement derive the cluster of each participant; if
+	// nil, participants are grouped ClusterSize at a time.
+	Machine   *topology.Machine
+	Placement topology.Placement
+	// ClusterSize is used when Machine is nil (default 4).
+	ClusterSize int
+}
+
+// NewHybrid builds the hybrid barrier.
+func NewHybrid(p int, cfg HybridConfig) *Hybrid {
+	checkP(p, "hybrid")
+	cluster := make([]int, p)
+	switch {
+	case cfg.Machine != nil:
+		place := cfg.Placement
+		if place == nil {
+			c, err := topology.Compact(cfg.Machine, p)
+			if err != nil {
+				panic(err)
+			}
+			place = c
+		}
+		if err := place.Validate(cfg.Machine); err != nil {
+			panic(err)
+		}
+		if len(place) != p {
+			panic(fmt.Sprintf("barrier: hybrid placement has %d threads, want %d", len(place), p))
+		}
+		dense := map[int]int{}
+		for id := 0; id < p; id++ {
+			cl := cfg.Machine.ClusterOf(place[id])
+			d, ok := dense[cl]
+			if !ok {
+				d = len(dense)
+				dense[cl] = d
+			}
+			cluster[id] = d
+		}
+	default:
+		nc := cfg.ClusterSize
+		if nc <= 0 {
+			nc = 4
+		}
+		for id := 0; id < p; id++ {
+			cluster[id] = id / nc
+		}
+	}
+	clusters := 0
+	for _, c := range cluster {
+		if c+1 > clusters {
+			clusters = c + 1
+		}
+	}
+	h := &Hybrid{
+		p:        p,
+		clusters: clusters,
+		cluster:  cluster,
+		size:     make([]int, clusters),
+		counter:  make([]fwayCounter, clusters),
+		release:  make([]paddedUint32, clusters),
+		repState: make([]disseminationLocal, clusters),
+		local:    make([]paddedUint32, p),
+	}
+	for _, c := range cluster {
+		h.size[c]++
+	}
+	for c := range h.counter {
+		h.counter[c].size = uint32(h.size[c])
+		h.repState[c].sense = 1
+	}
+	for span := 1; span < clusters; span *= 2 {
+		h.rounds++
+	}
+	for par := 0; par < 2; par++ {
+		h.flags[par] = make([][]paddedUint32, h.rounds)
+		for r := range h.flags[par] {
+			h.flags[par][r] = make([]paddedUint32, clusters)
+		}
+	}
+	return h
+}
+
+// Name implements Barrier.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Participants implements Barrier.
+func (h *Hybrid) Participants() int { return h.p }
+
+// Wait implements Barrier.
+func (h *Hybrid) Wait(id int) {
+	checkID(id, h.p, "hybrid")
+	mySense := 1 - h.local[id].v.Load()
+	h.local[id].v.Store(mySense)
+	if h.p == 1 {
+		return
+	}
+	c := h.cluster[id]
+	cnt := &h.counter[c]
+	if cnt.size > 1 {
+		if cnt.v.Add(1) != cnt.size {
+			spinUntilEq(&h.release[c].v, mySense)
+			return
+		}
+		cnt.v.Store(0)
+	}
+	// Representative: dissemination across clusters.
+	if h.clusters > 1 {
+		rs := &h.repState[c]
+		par, sense := rs.parity, rs.sense
+		span := 1
+		for r := 0; r < h.rounds; r++ {
+			partner := (c + span) % h.clusters
+			h.flags[par][r][partner].v.Store(sense)
+			spinUntilEq(&h.flags[par][r][c].v, sense)
+			span *= 2
+		}
+		if par == 1 {
+			rs.sense = 1 - sense
+		}
+		rs.parity = 1 - par
+	}
+	h.release[c].v.Store(mySense)
+}
+
+var _ Barrier = (*Hybrid)(nil)
+
+// Ring is a neighbour-only token barrier (after Aravind): an arrival
+// token travels 0→P-1, a release token travels back. Every access is
+// to a ring neighbour's flag, minimizing remote references at the cost
+// of an O(P) critical path.
+type Ring struct {
+	p       int
+	arrive  []paddedUint32
+	release []paddedUint32
+	local   []paddedUint32 // per-participant sense
+}
+
+// NewRing builds the ring barrier.
+func NewRing(p int) *Ring {
+	checkP(p, "ring")
+	return &Ring{
+		p:       p,
+		arrive:  make([]paddedUint32, p),
+		release: make([]paddedUint32, p),
+		local:   make([]paddedUint32, p),
+	}
+}
+
+// Name implements Barrier.
+func (r *Ring) Name() string { return "ring" }
+
+// Participants implements Barrier.
+func (r *Ring) Participants() int { return r.p }
+
+// Wait implements Barrier.
+func (r *Ring) Wait(id int) {
+	checkID(id, r.p, "ring")
+	sense := 1 - r.local[id].v.Load()
+	r.local[id].v.Store(sense)
+	if r.p == 1 {
+		return
+	}
+	if id == 0 {
+		r.arrive[0].v.Store(sense)
+	} else {
+		spinUntilEq(&r.arrive[id-1].v, sense)
+		r.arrive[id].v.Store(sense)
+	}
+	if id == r.p-1 {
+		r.release[id].v.Store(sense)
+		return
+	}
+	spinUntilEq(&r.release[id+1].v, sense)
+	r.release[id].v.Store(sense)
+}
+
+var _ Barrier = (*Ring)(nil)

@@ -1,0 +1,108 @@
+package barrier
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestNWayDisseminationRounds(t *testing.T) {
+	// n=1 degenerates to classic dissemination: ceil(log2 P) rounds.
+	if d := NewNWayDissemination(8, 1); d.rounds != 3 {
+		t.Fatalf("ndis1(8) rounds = %d, want 3", d.rounds)
+	}
+	// n=3: base-4 rounds.
+	if d := NewNWayDissemination(64, 3); d.rounds != 3 {
+		t.Fatalf("ndis3(64) rounds = %d, want 3", d.rounds)
+	}
+	if d := NewNWayDissemination(65, 3); d.rounds != 4 {
+		t.Fatalf("ndis3(65) rounds = %d, want 4", d.rounds)
+	}
+}
+
+func TestNWayDisseminationRejectsBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted n=0")
+		}
+	}()
+	NewNWayDissemination(4, 0)
+}
+
+func TestNWayNames(t *testing.T) {
+	if got := NewNWayDissemination(4, 2).Name(); got != "ndis2" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestHybridClusterAssignmentDefault(t *testing.T) {
+	h := NewHybrid(10, HybridConfig{})
+	// Default clusters of 4: sizes 4, 4, 2.
+	if h.clusters != 3 {
+		t.Fatalf("clusters = %d, want 3", h.clusters)
+	}
+	if h.size[0] != 4 || h.size[1] != 4 || h.size[2] != 2 {
+		t.Fatalf("cluster sizes = %v", h.size)
+	}
+}
+
+func TestHybridClusterAssignmentFromMachine(t *testing.T) {
+	m := topology.ThunderX2() // clusters are sockets of 32
+	h := NewHybrid(64, HybridConfig{Machine: m})
+	if h.clusters != 2 {
+		t.Fatalf("clusters = %d, want 2 sockets", h.clusters)
+	}
+	if h.size[0] != 32 || h.size[1] != 32 {
+		t.Fatalf("cluster sizes = %v", h.size)
+	}
+}
+
+func TestHybridWithScatterPlacement(t *testing.T) {
+	m := topology.Kunpeng920()
+	place, err := topology.Scatter(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHybrid(16, HybridConfig{Machine: m, Placement: place})
+	// 16 scattered threads land in 16 distinct CCLs.
+	if h.clusters != 16 {
+		t.Fatalf("clusters = %d, want 16", h.clusters)
+	}
+	verifyBarrier(t, h, 6)
+}
+
+func TestHybridCustomClusterSize(t *testing.T) {
+	h := NewHybrid(12, HybridConfig{ClusterSize: 6})
+	if h.clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", h.clusters)
+	}
+	verifyBarrier(t, h, 6)
+}
+
+func TestHybridRejectsMismatchedPlacement(t *testing.T) {
+	m := topology.Kunpeng920()
+	place, _ := topology.Compact(m, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted short placement")
+		}
+	}()
+	NewHybrid(8, HybridConfig{Machine: m, Placement: place})
+}
+
+func TestRingNeighborOnlySemantics(t *testing.T) {
+	// Correctness at awkward sizes, plus long reuse to exercise both
+	// senses on the tokens.
+	for _, p := range []int{1, 2, 3, 5, 17} {
+		verifyBarrier(t, NewRing(p), 21)
+	}
+}
+
+func TestRelatedBarrierNames(t *testing.T) {
+	if NewRing(2).Name() != "ring" {
+		t.Error("ring name")
+	}
+	if NewHybrid(4, HybridConfig{}).Name() != "hybrid" {
+		t.Error("hybrid name")
+	}
+}

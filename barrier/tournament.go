@@ -1,0 +1,60 @@
+package barrier
+
+import "armbarrier/model"
+
+// Tournament is the static pairwise tournament barrier (TOUR): in
+// round r, the thread whose index has the low r+1 bits clear is the
+// pre-determined winner and waits for its partner's signal; the
+// champion (thread 0) releases everyone through a global sense flag.
+type Tournament struct {
+	p      int
+	rounds int
+	// flags[r] holds the round-r arrival flag of each winner, padded.
+	flags  [][]paddedUint32
+	gsense paddedUint32
+	local  []paddedUint32 // per-participant sense
+}
+
+// NewTournament builds the tournament barrier.
+func NewTournament(p int) *Tournament {
+	checkP(p, "tournament")
+	t := &Tournament{p: p, rounds: model.DisseminationRounds(p), local: make([]paddedUint32, p)}
+	t.flags = make([][]paddedUint32, t.rounds)
+	for r := range t.flags {
+		t.flags[r] = make([]paddedUint32, p)
+	}
+	return t
+}
+
+// Name implements Barrier.
+func (t *Tournament) Name() string { return "tournament" }
+
+// Participants implements Barrier.
+func (t *Tournament) Participants() int { return t.p }
+
+// Wait implements Barrier.
+func (t *Tournament) Wait(id int) {
+	checkID(id, t.p, "tournament")
+	sense := 1 - t.local[id].v.Load()
+	t.local[id].v.Store(sense)
+	if t.p == 1 {
+		return
+	}
+	stride := 1
+	for r := 0; r < t.rounds; r++ {
+		if id%(2*stride) != 0 {
+			// Loser: signal my winner, then wait for the release.
+			t.flags[r][id-stride].v.Store(sense)
+			spinUntilEq(&t.gsense.v, sense)
+			return
+		}
+		if loser := id + stride; loser < t.p {
+			spinUntilEq(&t.flags[r][id].v, sense)
+		}
+		stride *= 2
+	}
+	// Champion.
+	t.gsense.v.Store(sense)
+}
+
+var _ Barrier = (*Tournament)(nil)

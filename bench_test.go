@@ -1,0 +1,115 @@
+// Package armbarrier's top-level benchmarks regenerate every table and
+// figure of the paper (as simulated measurements, reported through
+// testing.B custom metrics) and measure the real goroutine barriers on
+// the host.
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench=BenchmarkFigure7       # one figure
+//	go test -bench=BenchmarkReal          # wall-clock barriers only
+//
+// For readable experiment output, use cmd/barriersim instead; these
+// benches exist so `go test -bench` exercises the full harness and
+// tracks regressions in both simulated results and simulator speed.
+package armbarrier
+
+import (
+	"fmt"
+	"testing"
+
+	"armbarrier/barrier"
+	"armbarrier/internal/experiments"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// benchExperiment runs one paper experiment per iteration, reporting
+// how long the simulator takes to regenerate it.
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Episodes: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(opts)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "tab4") }
+
+// BenchmarkSimBarrier reports the simulated per-barrier overhead of
+// every algorithm at 64 threads on each ARM machine as the
+// "sim-ns/barrier" metric — the numbers behind Figure 7 and Table IV.
+func BenchmarkSimBarrier(b *testing.B) {
+	names := append(append([]string{}, algo.PaperAlgorithms...), "gcc", "llvm", "optimized")
+	for _, m := range topology.ARMMachines() {
+		for _, name := range names {
+			factory := algo.Registry[name]
+			b.Run(fmt.Sprintf("%s/%s", m.Name, name), func(b *testing.B) {
+				var ns float64
+				for i := 0; i < b.N; i++ {
+					ns = algo.MustMeasure(m, 64, factory, algo.MeasureOptions{Episodes: 10})
+				}
+				b.ReportMetric(ns, "sim-ns/barrier")
+			})
+		}
+	}
+}
+
+// BenchmarkRealBarrier measures the wall-clock cost of one barrier
+// episode for every real implementation at several participant counts
+// on the host.
+func BenchmarkRealBarrier(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func(p int) barrier.Barrier
+	}{
+		{"central", func(p int) barrier.Barrier { return barrier.NewCentral(p) }},
+		{"dissemination", func(p int) barrier.Barrier { return barrier.NewDissemination(p) }},
+		{"combining", func(p int) barrier.Barrier { return barrier.NewCombining(p, 2) }},
+		{"mcs", func(p int) barrier.Barrier { return barrier.NewMCS(p) }},
+		{"tournament", func(p int) barrier.Barrier { return barrier.NewTournament(p) }},
+		{"stour", func(p int) barrier.Barrier { return barrier.NewStaticFWay(p) }},
+		{"dtour", func(p int) barrier.Barrier { return barrier.NewDynamicFWay(p) }},
+		{"hyper", func(p int) barrier.Barrier { return barrier.NewHyper(p) }},
+		{"optimized", func(p int) barrier.Barrier { return barrier.New(p) }},
+	}
+	for _, impl := range impls {
+		for _, p := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%dT", impl.name, p), func(b *testing.B) {
+				bar := impl.mk(p)
+				b.ResetTimer()
+				barrier.Run(bar, func(id int) {
+					for i := 0; i < b.N; i++ {
+						bar.Wait(id)
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput tracks raw simulator speed: how many
+// simulated barrier episodes per second the DES kernel sustains at 64
+// threads. Regressions here make every experiment slower.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := topology.Phytium2000()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		algo.MustMeasure(m, 64, algo.Static4WayPadded, algo.MeasureOptions{Episodes: 20})
+	}
+}

@@ -1,0 +1,141 @@
+// Command barrierbench measures the wall-clock overhead of the real
+// goroutine barriers (package barrier) on the host machine with the
+// EPCC methodology, the real-substrate counterpart of cmd/barriersim.
+//
+// Usage:
+//
+//	barrierbench                        # all algorithms, default sweep
+//	barrierbench -threads 2,4,8         # custom sweep
+//	barrierbench -algos central,optimized -episodes 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"armbarrier/barrier"
+	"armbarrier/epcc"
+	"armbarrier/internal/table"
+)
+
+// algos maps command-line names to real barrier constructors.
+var algos = map[string]func(p int) barrier.Barrier{
+	"central":       func(p int) barrier.Barrier { return barrier.NewCentral(p) },
+	"dissemination": func(p int) barrier.Barrier { return barrier.NewDissemination(p) },
+	"combining":     func(p int) barrier.Barrier { return barrier.NewCombining(p, 2) },
+	"mcs":           func(p int) barrier.Barrier { return barrier.NewMCS(p) },
+	"tournament":    func(p int) barrier.Barrier { return barrier.NewTournament(p) },
+	"stour":         func(p int) barrier.Barrier { return barrier.NewStaticFWay(p) },
+	"dtour":         func(p int) barrier.Barrier { return barrier.NewDynamicFWay(p) },
+	"hyper":         func(p int) barrier.Barrier { return barrier.NewHyper(p) },
+	"optimized":     func(p int) barrier.Barrier { return barrier.New(p) },
+	"channel":       func(p int) barrier.Barrier { return barrier.NewChannel(p) },
+	"ring":          func(p int) barrier.Barrier { return barrier.NewRing(p) },
+	"hybrid":        func(p int) barrier.Barrier { return barrier.NewHybrid(p, barrier.HybridConfig{}) },
+	"ndis2":         func(p int) barrier.Barrier { return barrier.NewNWayDissemination(p, 2) },
+}
+
+// order fixes the display order.
+var order = []string{
+	"central", "dissemination", "combining", "mcs",
+	"tournament", "stour", "dtour", "hyper", "optimized",
+	"channel", "ring", "hybrid", "ndis2",
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "barrierbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("barrierbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		threadsFlag = fs.String("threads", "", "comma-separated participant counts (default 1,2,4,...,GOMAXPROCS)")
+		algosFlag   = fs.String("algos", "", "comma-separated algorithm names (default all)")
+		episodes    = fs.Int("episodes", 2000, "timed barrier episodes per measurement")
+		repeats     = fs.Int("repeats", 3, "measurement repeats; the minimum is kept")
+		csv         = fs.Bool("csv", false, "emit CSV")
+		regions     = fs.Bool("regions", false, "measure omp parallel-region overhead instead of bare barriers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	names := order
+	if *algosFlag != "" {
+		names = nil
+		for _, n := range strings.Split(*algosFlag, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := algos[n]; !ok {
+				return fmt.Errorf("unknown algorithm %q (have %s)", n, strings.Join(order, ", "))
+			}
+			names = append(names, n)
+		}
+	}
+
+	cols := []string{"algorithm"}
+	for _, p := range threads {
+		cols = append(cols, fmt.Sprintf("%dT", p))
+	}
+	title := fmt.Sprintf("Real goroutine barrier overhead (ns/barrier, GOMAXPROCS=%d)", runtime.GOMAXPROCS(0))
+	measure := epcc.MeasureReal
+	if *regions {
+		title = fmt.Sprintf("omp parallel-region overhead (ns/region, GOMAXPROCS=%d)", runtime.GOMAXPROCS(0))
+		measure = epcc.MeasureParallelRegion
+	}
+	tb := table.New(title, cols...)
+	for _, name := range names {
+		cells := []string{name}
+		for _, p := range threads {
+			r, err := measure(algos[name], p, epcc.RealOptions{Episodes: *episodes, Repeats: *repeats})
+			if err != nil {
+				return err
+			}
+			cells = append(cells, table.Cell(r.OverheadNs))
+		}
+		tb.AddRow(cells...)
+	}
+	tb.AddNote("EPCC methodology: minimum of %d repeats of %d episodes, reference loop subtracted", *repeats, *episodes)
+	tb.AddNote("goroutines are not pinned; treat trends, not absolute values, as meaningful")
+	if *csv {
+		fmt.Fprint(out, tb.CSV())
+	} else {
+		fmt.Fprint(out, tb.Render())
+	}
+	return nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for p := 1; p <= max; p *= 2 {
+			out = append(out, p)
+		}
+		if out[len(out)-1] != max {
+			out = append(out, max)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

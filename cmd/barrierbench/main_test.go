@@ -1,0 +1,84 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-threads", "1,2", "-algos", "central,optimized", "-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"central", "optimized", "1T", "2T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-threads", "2", "-algos", "mcs", "-episodes", "50", "-repeats", "1", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "algorithm,2T") {
+		t.Fatalf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestRegionsMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-regions", "-threads", "2", "-algos", "central", "-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "parallel-region overhead") {
+		t.Fatalf("regions title missing:\n%s", sb.String())
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-algos", "nope"}, &sb); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestBadThreads(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-threads", "0"}, &sb); err == nil {
+		t.Fatal("accepted thread count 0")
+	}
+	if err := run([]string{"-threads", "x"}, &sb); err == nil {
+		t.Fatal("accepted non-numeric thread count")
+	}
+}
+
+func TestParseThreadsDefault(t *testing.T) {
+	ts, err := parseThreads("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 || ts[0] != 1 {
+		t.Fatalf("default sweep = %v", ts)
+	}
+	if ts[len(ts)-1] != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default sweep %v does not end at GOMAXPROCS", ts)
+	}
+}
+
+func TestAlgosRegistryComplete(t *testing.T) {
+	if len(order) != len(algos) {
+		t.Fatalf("order has %d entries, algos map has %d", len(order), len(algos))
+	}
+	for _, n := range order {
+		if _, ok := algos[n]; !ok {
+			t.Errorf("ordered algorithm %q missing from map", n)
+		}
+	}
+}

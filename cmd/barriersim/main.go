@@ -1,0 +1,92 @@
+// Command barriersim regenerates the paper's tables and figures on the
+// cache simulator.
+//
+// Usage:
+//
+//	barriersim                 # run every experiment
+//	barriersim -exp fig7       # one experiment
+//	barriersim -list           # list experiment IDs
+//	barriersim -episodes 20    # more timed episodes per point
+//	barriersim -csv            # CSV instead of aligned text
+//	barriersim -plot           # ASCII line charts for thread sweeps
+//	barriersim -threads 8,16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"armbarrier/internal/experiments"
+	"armbarrier/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "barriersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("barriersim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		expID    = fs.String("exp", "", "experiment ID to run (default: all); see -list")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		episodes = fs.Int("episodes", 10, "timed barrier episodes per data point")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotFlag = fs.Bool("plot", false, "also render thread-sweep tables as ASCII charts")
+		threads  = fs.String("threads", "", "comma-separated thread sweep override, e.g. 8,16,32,64")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Fprintf(out, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	opts := experiments.Options{Episodes: *episodes}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -threads entry %q: %v", part, err)
+			}
+			opts.Threads = append(opts.Threads, p)
+		}
+	}
+
+	selected := experiments.All
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Title)
+		for _, tb := range e.Run(opts) {
+			if *csv {
+				fmt.Fprint(out, tb.CSV())
+			} else {
+				fmt.Fprint(out, tb.Render())
+			}
+			if *plotFlag {
+				// Only thread-sweep tables are chartable; skip others.
+				if chart, err := plot.SweepChart(tb, true); err == nil {
+					fmt.Fprintln(out)
+					fmt.Fprint(out, chart)
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

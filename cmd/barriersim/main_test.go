@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestListExperiments(t *testing.T) {
+	out := runCapture(t, "-list")
+	for _, want := range []string{"tab1", "fig5", "fig7", "fig13", "tab4", "placement", "ops", "modelcheck", "related"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out := runCapture(t, "-exp", "tab2", "-episodes", "4")
+	for _, want := range []string{"thunderx2", "140.7", "24.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out := runCapture(t, "-exp", "tab2", "-csv")
+	if !strings.Contains(out, "pair,measured(ns),paper(ns)") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestThreadsOverride(t *testing.T) {
+	out := runCapture(t, "-exp", "fig6", "-threads", "2,64", "-episodes", "4")
+	if !strings.Contains(out, "2T") || !strings.Contains(out, "64T") {
+		t.Fatalf("thread override not applied:\n%s", out)
+	}
+	if strings.Contains(out, "16T") {
+		t.Fatalf("default sweep leaked into output:\n%s", out)
+	}
+}
+
+func TestPlotOutput(t *testing.T) {
+	out := runCapture(t, "-exp", "fig6", "-plot", "-threads", "2,64", "-episodes", "4")
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "us/barrier") {
+		t.Fatalf("plot missing from output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestBadThreadsFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig6", "-threads", "2,banana"}, &sb); err == nil {
+		t.Fatal("accepted bad -threads")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}

@@ -1,0 +1,121 @@
+// Command barriertrace records one simulated barrier episode and dumps
+// its memory-operation timeline — a teaching and debugging view of why
+// an algorithm behaves the way it does on a given machine.
+//
+// Usage:
+//
+//	barriertrace -machine tx2 -algo sense -threads 8
+//	barriertrace -machine phytium -algo optimized -threads 16 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "barriertrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("barriertrace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machineName = fs.String("machine", "thunderx2", "machine to simulate")
+		machineFile = fs.String("machinefile", "", "JSON machine spec file (overrides -machine)")
+		algoName    = fs.String("algo", "sense", "barrier algorithm (see sim/algo registry)")
+		threads     = fs.Int("threads", 8, "simulated thread count")
+		warmup      = fs.Int("warmup", 2, "untraced warm-up episodes")
+		asJSON      = fs.Bool("json", false, "emit JSON Lines instead of the text timeline")
+		gantt       = fs.Bool("gantt", false, "render per-thread lanes instead of the event list")
+		critpath    = fs.Bool("critpath", false, "show the episode's critical path instead of the event list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m *topology.Machine
+	var err error
+	if *machineFile != "" {
+		m, err = topology.LoadSpecFile(*machineFile)
+	} else {
+		m, err = topology.ByName(*machineName)
+	}
+	if err != nil {
+		return err
+	}
+	factory, err := algo.ByName(*algoName)
+	if err != nil {
+		return err
+	}
+	if *threads < 1 || *threads > m.Cores {
+		return fmt.Errorf("thread count %d outside [1,%d] on %s", *threads, m.Cores, m.Name)
+	}
+	if *warmup < 0 {
+		return fmt.Errorf("negative warmup %d", *warmup)
+	}
+
+	place, err := topology.Compact(m, *threads)
+	if err != nil {
+		return err
+	}
+	rec := &sim.Recorder{}
+	tracing := false
+	k, err := sim.New(sim.Config{Machine: m, Placement: place, Trace: func(e sim.Event) {
+		if tracing {
+			rec.Record(e)
+		}
+	}})
+	if err != nil {
+		return err
+	}
+	b := factory(k, *threads)
+	var episodeStart float64
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < *warmup; e++ {
+			b.Wait(t)
+		}
+		if t.ID() == 0 {
+			// Warm-up done for thread 0: all flags are cache-resident.
+			// (Other threads may still be finishing their warm-up wake;
+			// their first traced ops belong to the same episode.)
+			tracing = true
+			episodeStart = t.Now()
+		}
+		b.Wait(t)
+	})
+
+	if *asJSON {
+		return rec.WriteJSON(out)
+	}
+	fmt.Fprintf(out, "%s on %s with %d threads (1 episode after %d warm-ups)\n",
+		b.Name(), m.Name, *threads, *warmup)
+	fmt.Fprintf(out, "episode start ~%.1f ns, completion %.1f ns\n\n", episodeStart, k.MaxTime())
+	switch {
+	case *gantt:
+		fmt.Fprint(out, rec.Gantt(*threads, 72))
+	case *critpath:
+		cp, err := rec.CriticalPath()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, sim.FormatCriticalPath(cp))
+	default:
+		if err := rec.Dump(out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "\n%s\n", rec.Summary())
+	st := k.Stats()
+	fmt.Fprintf(out, "run totals: %d loads (%d remote), %d stores (%d remote-fetch), %d atomics, %.0f ns invalidation traffic\n",
+		st.Loads, st.RemoteLoads, st.Stores, st.RemoteStores, st.Atomics, st.InvalidationNs)
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceTextOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "tx2", "-algo", "sense", "-threads", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sense on thunderx2", "atomic", "run totals", "remote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "kp920", "-algo", "optimized", "-threads", "8", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("too few JSON events: %d", len(lines))
+	}
+	var e map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &e); err != nil {
+		t.Fatalf("last line not JSON: %v", err)
+	}
+	if _, ok := e["kind"]; !ok {
+		t.Fatal("JSON event missing kind field")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "nope"}, &sb); err == nil {
+		t.Error("accepted unknown machine")
+	}
+	if err := run([]string{"-algo", "nope"}, &sb); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if err := run([]string{"-threads", "999"}, &sb); err == nil {
+		t.Error("accepted too many threads")
+	}
+	if err := run([]string{"-warmup", "-1"}, &sb); err == nil {
+		t.Error("accepted negative warmup")
+	}
+}
+
+func TestTraceGanttMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "tx2", "-algo", "sense", "-threads", "4", "-gantt"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "t00 |") || !strings.Contains(out, "upper-case = remote") {
+		t.Fatalf("gantt output wrong:\n%s", out)
+	}
+}
+
+func TestTraceCritPathMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "phytium", "-algo", "optimized", "-threads", "8", "-critpath"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "critical path") || !strings.Contains(out, "thread hops") {
+		t.Fatalf("critpath output wrong:\n%s", out)
+	}
+}
+
+func TestTraceWithMachineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	spec := `{"name":"custom8","levels":[4,2],"epsilon":1,"level_latency":[9,70]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-machinefile", path, "-algo", "stour", "-threads", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "custom8") {
+		t.Fatalf("custom machine not used:\n%s", sb.String())
+	}
+	if err := run([]string{"-machinefile", filepath.Join(t.TempDir(), "nope.json")}, &sb); err == nil {
+		t.Fatal("accepted missing machine file")
+	}
+}
+
+func TestTraceEveryRegisteredAlgorithm(t *testing.T) {
+	for _, name := range []string{"dis", "cmb", "mcs", "tour", "stour", "dtour", "hyper", "ring", "hybrid", "ndis2"} {
+		var sb strings.Builder
+		if err := run([]string{"-machine", "phytium", "-algo", name, "-threads", "8"}, &sb); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command barriertune searches the f-way tournament design space
+// (fan-in, padding, wake-up strategy, cluster-aware grouping) for the
+// cheapest barrier on a machine, using the cache simulator — the
+// Sections V/VI methodology automated for arbitrary topologies.
+//
+// Usage:
+//
+//	barriertune -machine tx2 -threads 64
+//	barriertune -machinefile mychip.json -threads 96 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"armbarrier/internal/table"
+	"armbarrier/topology"
+	"armbarrier/tune"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "barriertune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("barriertune", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machineName = fs.String("machine", "thunderx2", "machine to tune for")
+		machineFile = fs.String("machinefile", "", "JSON machine spec (overrides -machine)")
+		threads     = fs.Int("threads", 0, "thread count (default: all cores)")
+		episodes    = fs.Int("episodes", 10, "timed episodes per candidate")
+		top         = fs.Int("top", 8, "how many candidates to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m *topology.Machine
+	var err error
+	if *machineFile != "" {
+		m, err = topology.LoadSpecFile(*machineFile)
+	} else {
+		m, err = topology.ByName(*machineName)
+	}
+	if err != nil {
+		return err
+	}
+	p := *threads
+	if p == 0 {
+		p = m.Cores
+	}
+	if *top < 1 {
+		return fmt.Errorf("-top %d < 1", *top)
+	}
+
+	candidates, err := tune.Search(m, p, tune.Options{Episodes: *episodes})
+	if err != nil {
+		return err
+	}
+	tb := table.New(
+		fmt.Sprintf("Barrier design-space search on %s with %d threads", m.Name, p),
+		"rank", "configuration", "ns/barrier", "vs best")
+	limit := *top
+	if limit > len(candidates) {
+		limit = len(candidates)
+	}
+	best := candidates[0].CostNs
+	for i := 0; i < limit; i++ {
+		c := candidates[i]
+		tb.AddRow(table.CellInt(i+1), c.Name(), table.Cell(c.CostNs), table.CellX(c.CostNs/best))
+	}
+	tb.AddNote("%d candidates searched; worst was %s at %.0f ns",
+		len(candidates), candidates[len(candidates)-1].Name(), candidates[len(candidates)-1].CostNs)
+	fmt.Fprint(out, tb.Render())
+	return nil
+}

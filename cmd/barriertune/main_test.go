@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTuneKnownMachine(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "kp920", "-threads", "16", "-episodes", "4", "-top", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"kunpeng920", "ns/barrier", "1.0x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// -top 3 limits the rows: rank 4 must not appear.
+	if strings.Contains(out, "\n4 ") {
+		t.Errorf("more than 3 candidates printed:\n%s", out)
+	}
+}
+
+func TestTuneMachineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	spec := `{"name":"tunable","levels":[2,4],"epsilon":1,"level_latency":[8,64]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-machinefile", path, "-episodes", "4", "-top", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tunable with 8 threads") {
+		t.Fatalf("custom machine not tuned:\n%s", sb.String())
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "nope"}, &sb); err == nil {
+		t.Error("accepted unknown machine")
+	}
+	if err := run([]string{"-machine", "tx2", "-threads", "999"}, &sb); err == nil {
+		t.Error("accepted too many threads")
+	}
+	if err := run([]string{"-machine", "tx2", "-top", "0"}, &sb); err == nil {
+		t.Error("accepted -top 0")
+	}
+}

@@ -1,0 +1,97 @@
+// Command latency runs the two-thread ping-pong micro-benchmark of
+// Section III-A on the simulator, reproducing Tables I-III, or probes
+// an arbitrary core pair.
+//
+// Usage:
+//
+//	latency                         # Tables I, II and III
+//	latency -machine tx2            # one machine's table
+//	latency -machine kp920 -a 0 -b 37   # one core pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"armbarrier/epcc"
+	"armbarrier/internal/experiments"
+	"armbarrier/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machine = fs.String("machine", "", "machine name (default: all three ARM machines)")
+		a       = fs.Int("a", -1, "first core of an explicit probe pair")
+		b       = fs.Int("b", -1, "second core of an explicit probe pair")
+		host    = fs.Bool("host", false, "measure THIS machine's cache-to-cache latency instead of simulating")
+		iters   = fs.Int("iters", 0, "iterations for -host (0 = defaults)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *host {
+		eps := epcc.HostLocalAccess(*iters)
+		hop, err := epcc.HostPingPong(*iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "host local atomic load (eps): %.2f ns\n", eps)
+		fmt.Fprintf(out, "host cache-to-cache hop:      %.1f ns (goroutines are unpinned; average over scheduler placement)\n", hop)
+		return nil
+	}
+	if *a >= 0 || *b >= 0 {
+		if *machine == "" {
+			return fmt.Errorf("-a/-b require -machine")
+		}
+		m, err := topology.ByName(*machine)
+		if err != nil {
+			return err
+		}
+		if *a < 0 || *b < 0 || *a >= m.Cores || *b >= m.Cores {
+			return fmt.Errorf("core pair (%d,%d) out of range for %s", *a, *b, m.Name)
+		}
+		got := experiments.PingPongLatency(m, *a, *b)
+		fmt.Fprintf(out, "%s cores (%d,%d): measured %.2f ns (configured %.2f ns, layer %v)\n",
+			m.Name, *a, *b, got, m.LatencyBetween(*a, *b), m.LayerBetween(*a, *b))
+		return nil
+	}
+	ids := []string{"tab1", "tab2", "tab3"}
+	if *machine != "" {
+		m, err := topology.ByName(*machine)
+		if err != nil {
+			return err
+		}
+		switch m.Name {
+		case "phytium2000":
+			ids = []string{"tab1"}
+		case "thunderx2":
+			ids = []string{"tab2"}
+		case "kunpeng920":
+			ids = []string{"tab3"}
+		default:
+			return fmt.Errorf("no published latency table for %s; use -a/-b probes", m.Name)
+		}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		for _, tb := range e.Run(experiments.Options{}) {
+			fmt.Fprint(out, tb.Render())
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

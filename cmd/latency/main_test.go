@@ -1,0 +1,73 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestAllTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"phytium2000", "thunderx2", "kunpeng920", "95.50", "140.7", "75.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "tx2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "thunderx2") {
+		t.Fatalf("missing tx2 table:\n%s", out)
+	}
+	if strings.Contains(out, "phytium") {
+		t.Fatalf("other machines leaked:\n%s", out)
+	}
+}
+
+func TestExplicitPair(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-machine", "kp920", "-a", "0", "-b", "37"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "75.00") {
+		t.Fatalf("cross-SCCL pair wrong:\n%s", sb.String())
+	}
+}
+
+func TestHostMode(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	var sb strings.Builder
+	if err := run([]string{"-host", "-iters", "500"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cache-to-cache hop") || !strings.Contains(out, "local atomic load") {
+		t.Fatalf("host mode output:\n%s", out)
+	}
+}
+
+func TestPairValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-a", "0", "-b", "1"}, &sb); err == nil {
+		t.Error("accepted pair without machine")
+	}
+	if err := run([]string{"-machine", "tx2", "-a", "0", "-b", "999"}, &sb); err == nil {
+		t.Error("accepted out-of-range core")
+	}
+	if err := run([]string{"-machine", "nope"}, &sb); err == nil {
+		t.Error("accepted unknown machine")
+	}
+	if err := run([]string{"-machine", "xeon"}, &sb); err == nil {
+		t.Error("accepted machine without a published table")
+	}
+}

@@ -1,0 +1,49 @@
+package epcc
+
+import (
+	"runtime"
+	"testing"
+
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func TestNoopBarrierConformance(t *testing.T) {
+	n := noopBarrier{p: 3}
+	if n.Participants() != 3 || n.Name() != "reference" {
+		t.Fatal("noop barrier metadata wrong")
+	}
+	n.Wait(0) // must be a no-op
+}
+
+func TestFactoryNameErrorPaths(t *testing.T) {
+	m := topology.XeonGold()
+	// Too many threads: FactoryName must degrade gracefully.
+	if got := FactoryName(m, 999, algo.NewSense); got != "barrier" {
+		t.Fatalf("FactoryName fallback = %q", got)
+	}
+}
+
+func TestHostPingPongSingleProcError(t *testing.T) {
+	if runtime.GOMAXPROCS(0) >= 2 {
+		t.Skip("host has multiple procs")
+	}
+	if _, err := HostPingPong(100); err == nil {
+		t.Fatal("expected an error with GOMAXPROCS < 2")
+	}
+}
+
+func TestHostPingPongOversubscribed(t *testing.T) {
+	// Force 2 logical procs even on a 1-CPU host: the Gosched-equipped
+	// spin loops must still complete (scheduler-dominated latency).
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	hop, err := HostPingPong(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop <= 0 {
+		t.Fatalf("hop = %g", hop)
+	}
+	t.Logf("oversubscribed hop: %.0f ns", hop)
+}

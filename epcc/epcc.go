@@ -1,0 +1,166 @@
+// Package epcc measures barrier overhead with the methodology of the
+// EPCC OpenMP micro-benchmark suite (Bull & O'Neill), the tool the
+// paper uses for every figure: run a tight loop of barrier episodes
+// across P parallel workers, subtract the reference cost of the same
+// loop without synchronization, and report the per-barrier overhead.
+//
+// Two substrates are supported:
+//
+//   - MeasureSim runs a barrier algorithm on the deterministic cache
+//     simulator (package sim) and reports simulated nanoseconds — the
+//     reproduction of the paper's hardware numbers.
+//   - MeasureReal runs a real goroutine barrier (package barrier) and
+//     reports wall-clock nanoseconds on the host.
+package epcc
+
+import (
+	"fmt"
+	"time"
+
+	"armbarrier/barrier"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// Result is one overhead measurement.
+type Result struct {
+	Name    string
+	Threads int
+	// OverheadNs is the average per-barrier overhead in nanoseconds
+	// (simulated or wall-clock, depending on the substrate).
+	OverheadNs float64
+	// Episodes is how many barrier episodes were timed.
+	Episodes int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%d: %.1f ns/barrier over %d episodes", r.Name, r.Threads, r.OverheadNs, r.Episodes)
+}
+
+// SimOptions configures MeasureSim.
+type SimOptions struct {
+	// Warmup and Episodes follow algo.MeasureOptions (defaults 3/10).
+	Warmup   int
+	Episodes int
+	// Placement overrides compact pinning.
+	Placement topology.Placement
+}
+
+// MeasureSim measures one simulated barrier configuration.
+func MeasureSim(m *topology.Machine, threads int, factory algo.Factory, opts SimOptions) (Result, error) {
+	ns, err := algo.Measure(m, threads, factory, algo.MeasureOptions{
+		Warmup:    opts.Warmup,
+		Episodes:  opts.Episodes,
+		Placement: opts.Placement,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	ep := opts.Episodes
+	if ep == 0 {
+		ep = 10
+	}
+	return Result{Name: FactoryName(m, threads, factory), Threads: threads, OverheadNs: ns, Episodes: ep}, nil
+}
+
+// FactoryName instantiates a barrier on a throwaway kernel to recover
+// its display name.
+func FactoryName(m *topology.Machine, threads int, factory algo.Factory) string {
+	place, err := topology.Compact(m, threads)
+	if err != nil {
+		return "barrier"
+	}
+	k, err := sim.New(sim.Config{Machine: m, Placement: place})
+	if err != nil {
+		return "barrier"
+	}
+	return factory(k, threads).Name()
+}
+
+// RealOptions configures MeasureReal.
+type RealOptions struct {
+	// Episodes is the number of timed barrier episodes (default 1000).
+	Episodes int
+	// Repeats re-runs the measurement and keeps the minimum, the EPCC
+	// convention for suppressing scheduler noise (default 3).
+	Repeats int
+}
+
+// MeasureReal measures a real goroutine barrier's overhead: the
+// wall-clock time of Episodes back-to-back Wait calls per worker,
+// minus the reference time of the same loop body without the barrier,
+// divided by Episodes.
+func MeasureReal(mk func(p int) barrier.Barrier, threads int, opts RealOptions) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("epcc: %d threads", threads)
+	}
+	episodes := opts.Episodes
+	if episodes == 0 {
+		episodes = 1000
+	}
+	repeats := opts.Repeats
+	if repeats == 0 {
+		repeats = 3
+	}
+	if episodes < 1 || repeats < 1 {
+		return Result{}, fmt.Errorf("epcc: bad options %+v", opts)
+	}
+
+	b := mk(threads)
+	if b.Participants() != threads {
+		return Result{}, fmt.Errorf("epcc: barrier has %d participants, want %d", b.Participants(), threads)
+	}
+
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < repeats; r++ {
+		// Warm up one episode set so lazily-allocated flags are paged in.
+		runEpisodes(b, episodes/10+1)
+		d := runEpisodes(b, episodes)
+		if d < best {
+			best = d
+		}
+	}
+	ref := referenceLoop(threads, episodes)
+	overhead := (best - ref).Nanoseconds()
+	if overhead < 0 {
+		overhead = 0
+	}
+	return Result{
+		Name:       b.Name(),
+		Threads:    threads,
+		OverheadNs: float64(overhead) / float64(episodes),
+		Episodes:   episodes,
+	}, nil
+}
+
+// runEpisodes times `episodes` barrier episodes across the barrier's
+// participants.
+func runEpisodes(b barrier.Barrier, episodes int) time.Duration {
+	start := time.Now()
+	barrier.Run(b, func(id int) {
+		for e := 0; e < episodes; e++ {
+			b.Wait(id)
+		}
+	})
+	return time.Since(start)
+}
+
+// referenceLoop times the same fork/join and loop structure without
+// any barrier, the EPCC "reference" measurement.
+func referenceLoop(threads, episodes int) time.Duration {
+	b := noopBarrier{p: threads}
+	start := time.Now()
+	barrier.Run(b, func(id int) {
+		for e := 0; e < episodes; e++ {
+			b.Wait(id)
+		}
+	})
+	return time.Since(start)
+}
+
+type noopBarrier struct{ p int }
+
+func (n noopBarrier) Wait(int)          {}
+func (n noopBarrier) Participants() int { return n.p }
+func (n noopBarrier) Name() string      { return "reference" }

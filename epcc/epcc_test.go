@@ -1,0 +1,118 @@
+package epcc
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func TestMeasureSim(t *testing.T) {
+	m := topology.ThunderX2()
+	r, err := MeasureSim(m, 16, algo.STOUR, SimOptions{Episodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs <= 0 {
+		t.Fatalf("overhead = %g", r.OverheadNs)
+	}
+	if r.Name != "stour" || r.Threads != 16 || r.Episodes != 5 {
+		t.Fatalf("result metadata wrong: %+v", r)
+	}
+}
+
+func TestMeasureSimDefaultEpisodes(t *testing.T) {
+	m := topology.Kunpeng920()
+	r, err := MeasureSim(m, 8, algo.NewSense, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Episodes != 10 {
+		t.Fatalf("default episodes = %d, want 10", r.Episodes)
+	}
+}
+
+func TestMeasureSimPropagatesErrors(t *testing.T) {
+	m := topology.XeonGold()
+	if _, err := MeasureSim(m, 100, algo.NewSense, SimOptions{}); err == nil {
+		t.Fatal("accepted more threads than cores")
+	}
+}
+
+func TestMeasureReal(t *testing.T) {
+	r, err := MeasureReal(func(p int) barrier.Barrier { return barrier.New(p) }, 4,
+		RealOptions{Episodes: 200, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs < 0 {
+		t.Fatalf("negative overhead %g", r.OverheadNs)
+	}
+	if r.Name != "optimized" || r.Threads != 4 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+}
+
+func TestMeasureRealValidation(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	if _, err := MeasureReal(mk, 0, RealOptions{}); err == nil {
+		t.Error("accepted 0 threads")
+	}
+	if _, err := MeasureReal(mk, 2, RealOptions{Episodes: -5}); err == nil {
+		t.Error("accepted negative episodes")
+	}
+	bad := func(p int) barrier.Barrier { return barrier.NewCentral(p + 1) }
+	if _, err := MeasureReal(bad, 2, RealOptions{Episodes: 10}); err == nil {
+		t.Error("accepted mismatched participant count")
+	}
+}
+
+func TestMeasureRealSingleThread(t *testing.T) {
+	r, err := MeasureReal(func(p int) barrier.Barrier { return barrier.NewDissemination(p) }, 1,
+		RealOptions{Episodes: 100, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs < 0 {
+		t.Fatalf("negative overhead: %+v", r)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Name: "stour", Threads: 8, OverheadNs: 123.4, Episodes: 10}
+	s := r.String()
+	for _, want := range []string{"stour", "8", "123.4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFactoryName(t *testing.T) {
+	m := topology.Phytium2000()
+	if got := FactoryName(m, 8, algo.DTOUR); got != "dtour" {
+		t.Fatalf("FactoryName = %q", got)
+	}
+}
+
+// The simulated SENSE barrier must cost more than the optimized one on
+// every ARM machine at scale — the paper's headline, verified through
+// the epcc wrapper.
+func TestSimOptimizedBeatsSense(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		sense, err := MeasureSim(m, 64, algo.NewSense, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := MeasureSim(m, 64, algo.Optimized, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.OverheadNs >= sense.OverheadNs {
+			t.Errorf("%s: optimized (%.0fns) not faster than sense (%.0fns)",
+				m.Name, opt.OverheadNs, sense.OverheadNs)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package epcc
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestHostPingPong(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs 2 processors")
+	}
+	hop, err := HostPingPong(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plausibility only: a cache-to-cache hop is tens to a few
+	// thousand ns depending on the host and scheduler placement.
+	if hop <= 0 || hop > 1e6 {
+		t.Fatalf("host hop latency %.1f ns implausible", hop)
+	}
+	t.Logf("host cache-to-cache hop: %.1f ns", hop)
+}
+
+func TestHostLocalAccess(t *testing.T) {
+	eps := HostLocalAccess(1 << 18)
+	if eps <= 0 || eps > 1000 {
+		t.Fatalf("local access %.2f ns implausible", eps)
+	}
+	t.Logf("host local atomic load: %.2f ns", eps)
+}

@@ -1,0 +1,60 @@
+package epcc
+
+import (
+	"fmt"
+	"time"
+
+	"armbarrier/barrier"
+	"armbarrier/omp"
+)
+
+// MeasureParallelRegion measures the fork/join overhead of an OpenMP-
+// style parallel region (the EPCC suite's PARALLEL benchmark): the
+// wall-clock cost of dispatching an empty body to a persistent worker
+// team and meeting the implicit join barrier, averaged over many
+// regions. Since a region is one fork barrier plus one join barrier,
+// this is roughly twice the bare barrier overhead plus team
+// bookkeeping.
+func MeasureParallelRegion(mk func(p int) barrier.Barrier, threads int, opts RealOptions) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("epcc: %d threads", threads)
+	}
+	episodes := opts.Episodes
+	if episodes == 0 {
+		episodes = 1000
+	}
+	repeats := opts.Repeats
+	if repeats == 0 {
+		repeats = 3
+	}
+	if episodes < 1 || repeats < 1 {
+		return Result{}, fmt.Errorf("epcc: bad options %+v", opts)
+	}
+	b := mk(threads)
+	team, err := omp.NewTeam(threads, b)
+	if err != nil {
+		return Result{}, err
+	}
+	defer team.Close()
+
+	noop := func(tid int) {}
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < repeats; r++ {
+		for w := 0; w < episodes/10+1; w++ {
+			team.Parallel(noop)
+		}
+		start := time.Now()
+		for e := 0; e < episodes; e++ {
+			team.Parallel(noop)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return Result{
+		Name:       "parallel-region/" + b.Name(),
+		Threads:    threads,
+		OverheadNs: float64(best.Nanoseconds()) / float64(episodes),
+		Episodes:   episodes,
+	}, nil
+}

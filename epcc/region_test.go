@@ -1,0 +1,55 @@
+package epcc
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+func TestMeasureParallelRegion(t *testing.T) {
+	r, err := MeasureParallelRegion(func(p int) barrier.Barrier { return barrier.New(p) }, 4,
+		RealOptions{Episodes: 200, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs <= 0 {
+		t.Fatalf("region overhead = %g", r.OverheadNs)
+	}
+	if !strings.HasPrefix(r.Name, "parallel-region/") {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestMeasureParallelRegionValidation(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	if _, err := MeasureParallelRegion(mk, 0, RealOptions{}); err == nil {
+		t.Error("accepted 0 threads")
+	}
+	if _, err := MeasureParallelRegion(mk, 2, RealOptions{Episodes: -1}); err == nil {
+		t.Error("accepted negative episodes")
+	}
+	bad := func(p int) barrier.Barrier { return barrier.NewCentral(p + 1) }
+	if _, err := MeasureParallelRegion(bad, 2, RealOptions{Episodes: 10}); err == nil {
+		t.Error("accepted mismatched barrier")
+	}
+}
+
+func TestRegionCostsMoreThanBareBarrier(t *testing.T) {
+	// A region is two barrier crossings plus dispatch; it should not
+	// be cheaper than a single barrier episode. (Both are noisy on a
+	// shared host, so compare with generous slack.)
+	mk := func(p int) barrier.Barrier { return barrier.NewDissemination(p) }
+	region, err := MeasureParallelRegion(mk, 4, RealOptions{Episodes: 500, Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := MeasureReal(mk, 4, RealOptions{Episodes: 500, Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.OverheadNs < bare.OverheadNs*0.5 {
+		t.Fatalf("region (%.0fns) implausibly cheaper than bare barrier (%.0fns)",
+			region.OverheadNs, bare.OverheadNs)
+	}
+}

@@ -1,0 +1,83 @@
+// Reduction: a multi-phase parallel tree reduction whose phases are
+// separated by barriers, comparing several barrier algorithms on the
+// same computation. With fine-grained phases ("the interval between
+// barriers decreases", as the paper's introduction puts it), the
+// barrier choice dominates the run time.
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"armbarrier/barrier"
+)
+
+const (
+	workers = 8
+	n       = workers * 1024
+	rounds  = 200
+)
+
+// reduce sums `data` with a binary-tree reduction: log2(workers)
+// combine phases, one barrier between phases. It repeats the reduction
+// `rounds` times to amplify the synchronization cost.
+func reduce(b barrier.Barrier, data []int64) (int64, time.Duration) {
+	// partial[w] is worker w's running value; padded to avoid false
+	// sharing between workers (the same trick the paper applies to
+	// arrival flags).
+	type padded struct {
+		v int64
+		_ [120]byte
+	}
+	partial := make([]padded, workers)
+	start := time.Now()
+	barrier.Run(b, func(id int) {
+		chunk := len(data) / workers
+		for r := 0; r < rounds; r++ {
+			// Phase 0: local sums.
+			var s int64
+			for _, v := range data[id*chunk : (id+1)*chunk] {
+				s += v
+			}
+			partial[id].v = s
+			b.Wait(id)
+			// Combine phases: stride doubling, like the arrival tree
+			// of a tournament barrier.
+			for stride := 1; stride < workers; stride *= 2 {
+				if id%(2*stride) == 0 && id+stride < workers {
+					partial[id].v += partial[id+stride].v
+				}
+				b.Wait(id)
+			}
+		}
+	})
+	return partial[0].v, time.Since(start)
+}
+
+func main() {
+	data := make([]int64, n)
+	var want int64
+	for i := range data {
+		data[i] = int64(i%17 - 8)
+		want += data[i]
+	}
+
+	barriers := []barrier.Barrier{
+		barrier.NewCentral(workers),
+		barrier.NewDissemination(workers),
+		barrier.NewMCS(workers),
+		barrier.NewStaticFWay(workers),
+		barrier.New(workers),
+	}
+	fmt.Printf("tree reduction of %d ints x %d rounds on %d workers\n\n", n, rounds, workers)
+	for _, b := range barriers {
+		got, elapsed := reduce(b, data)
+		status := "ok"
+		if got != want {
+			status = fmt.Sprintf("WRONG (want %d)", want)
+		}
+		fmt.Printf("%-14s sum=%-8d %-8s %v\n", b.Name(), got, status, elapsed)
+	}
+}

@@ -1,0 +1,72 @@
+// Teams: OpenMP-style worksharing on a persistent worker team, with
+// the barrier implementation as a swappable parameter — the software
+// architecture the paper's optimizations plug into. The example
+// computes a dot product and a histogram with parallel-for and
+// reduction constructs, then measures how the team's region overhead
+// depends on the barrier choice.
+//
+//	go run ./examples/teams
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"armbarrier/barrier"
+	"armbarrier/epcc"
+	"armbarrier/omp"
+)
+
+const workers = 8
+
+func main() {
+	team := omp.MustTeam(workers, barrier.New(workers))
+	defer team.Close()
+
+	// Parallel-for + reduction: dot product.
+	n := 1 << 16
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	team.For(n, func(i, tid int) {
+		xs[i] = math.Sin(float64(i))
+		ys[i] = math.Cos(float64(i))
+	})
+	dot := team.ReduceFloat64(n, 0, func(i int) float64 { return xs[i] * ys[i] })
+	fmt.Printf("dot(sin, cos) over %d points = %.4f\n", n, dot)
+
+	// Histogram with per-worker bins merged after the implicit barrier.
+	const bins = 8
+	local := make([][bins]int, workers)
+	team.For(n, func(i, tid int) {
+		b := int((xs[i] + 1) / 2 * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		local[tid][b]++
+	})
+	var hist [bins]int
+	for w := range local {
+		for b, c := range local[w] {
+			hist[b] += c
+		}
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	fmt.Printf("histogram of sin values: %v (total %d)\n", hist, total)
+
+	// Region overhead per barrier algorithm (EPCC PARALLEL-style).
+	fmt.Printf("\nparallel-region overhead on this host (%d workers):\n", workers)
+	for _, mk := range []func(p int) barrier.Barrier{
+		func(p int) barrier.Barrier { return barrier.NewCentral(p) },
+		func(p int) barrier.Barrier { return barrier.NewDissemination(p) },
+		func(p int) barrier.Barrier { return barrier.New(p) },
+	} {
+		r, err := epcc.MeasureParallelRegion(mk, workers, epcc.RealOptions{Episodes: 500, Repeats: 3})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-32s %8.0f ns/region\n", r.Name, r.OverheadNs)
+	}
+}

@@ -1,0 +1,58 @@
+// Tuned: end-to-end auto-tuning workflow. The tune package searches
+// the barrier design space on a simulated machine, and the winning
+// configuration is instantiated as a real goroutine barrier — the
+// adoption path for porting the paper's optimizations to new silicon.
+//
+//	go run ./examples/tuned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armbarrier/barrier"
+	"armbarrier/topology"
+	"armbarrier/tune"
+)
+
+func main() {
+	m := topology.ThunderX2()
+	const threads = 64
+
+	fmt.Printf("searching the barrier design space for %s at %d threads...\n", m.Name, threads)
+	candidates, err := tune.Search(m, threads, tune.Options{Episodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop 5 configurations (simulated):")
+	for i := 0; i < 5 && i < len(candidates); i++ {
+		c := candidates[i]
+		fmt.Printf("  %d. %-28s %8.0f ns/barrier\n", i+1, c.Name(), c.CostNs)
+	}
+	worst := candidates[len(candidates)-1]
+	fmt.Printf("  (worst: %s at %.0f ns — %.1fx slower)\n",
+		worst.Name(), worst.CostNs, worst.CostNs/candidates[0].CostNs)
+
+	// Instantiate the winner as a real goroutine barrier. The host is
+	// not a ThunderX2, but the structure (padded flags, fan-in,
+	// NUMA-aware tree over N_c-sized groups) carries over. Use a
+	// host-friendly participant count for the demo run.
+	best := candidates[0]
+	const workers = 8
+	hostCfg, err := best.RealConfig(m, workers, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := barrier.NewFWay(workers, hostCfg)
+	rounds := 0
+	barrier.Run(b, func(id int) {
+		for r := 0; r < 1000; r++ {
+			b.Wait(id)
+		}
+		if id == 0 {
+			rounds = 1000
+		}
+	})
+	fmt.Printf("\ninstantiated %q as a real barrier and ran %d rounds with %d goroutines\n",
+		b.Name(), rounds, workers)
+}

@@ -1,0 +1,69 @@
+// Whatif: design-space exploration on a machine the paper never
+// measured. We build a fictional ARMv8-style many-core from a
+// hierarchical spec, ask the analytical model which wake-up strategy
+// it prefers, and then check the prediction against the cache
+// simulator — the workflow a performance engineer would use to port
+// the paper's optimizations to new silicon.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armbarrier/internal/experiments"
+	"armbarrier/model"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func main() {
+	// A fictional 96-core part: 6 cores per cluster, 4 clusters per
+	// die, 4 dies, with a slow inter-die fabric.
+	m, err := topology.NewHierarchical(topology.HierarchicalSpec{
+		Name:         "hypothetic96",
+		Levels:       []int{6, 4, 4},
+		Epsilon:      1.5,
+		LevelLatency: []float64{11, 48, 130},
+		Alpha:        0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+	fmt.Println()
+
+	// 1. What does the analytical model say?
+	P := 96
+	fOpt := model.OptimalFanIn(m.Alpha)
+	fmt.Printf("Equation 2 optimal fan-in: %.3f -> recommend f=%d\n", fOpt, model.RecommendedFanIn(m))
+	L := m.Latency[len(m.Latency)-1]
+	fmt.Printf("Equation 3 T_global(P=%d) = %.0f ns\n", P, model.GlobalWakeupCost(P, L, m.Alpha, m.ReadContention))
+	fmt.Printf("Equation 4 T_tree(P=%d)   = %.0f ns\n", P, model.TreeWakeupCost(P, L, m.Alpha))
+	fmt.Printf("model prefers the %q wake-up\n\n", model.PredictWakeup(m, P))
+
+	// 2. What does the simulator measure?
+	opts := experiments.Options{Episodes: 10}
+	rows := []struct {
+		name string
+		f    algo.Factory
+	}{
+		{"sense (GCC-style)", algo.NewSense},
+		{"dissemination", algo.NewDissemination},
+		{"stour (packed)", algo.STOUR},
+		{"opt + global", algo.OptimizedWith(algo.WakeGlobal)},
+		{"opt + binary tree", algo.OptimizedWith(algo.WakeBinaryTree)},
+		{"opt + NUMA tree", algo.OptimizedWith(algo.WakeNUMATree)},
+	}
+	fmt.Printf("simulated EPCC overhead at %d threads:\n", P)
+	best, bestName := 0.0, ""
+	for _, r := range rows {
+		us := experiments.MeasureUs(m, P, r.f, opts)
+		fmt.Printf("  %-18s %8.2f us\n", r.name, us)
+		if bestName == "" || us < best {
+			best, bestName = us, r.name
+		}
+	}
+	fmt.Printf("\nwinner on hypothetic96: %s (%.2f us)\n", bestName, best)
+}

@@ -1,0 +1,3 @@
+module armbarrier
+
+go 1.22

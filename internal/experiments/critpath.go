@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/table"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func init() {
+	All = append(All,
+		Experiment{ID: "critpath", Title: "Extension: critical-path attribution of one barrier episode", Run: runCritPath},
+	)
+}
+
+// runCritPath traces one steady-state episode per algorithm and
+// machine and attributes its critical path: how much of the makespan
+// is remote transfers, local work, and dependency idle time. The
+// remote share is the quantity every optimization in the paper
+// attacks.
+func runCritPath(opts Options) []*table.Table {
+	var out []*table.Table
+	for _, m := range topology.ARMMachines() {
+		tb := table.New(
+			fmt.Sprintf("Critical path of one 64-thread episode on %s", m.Name),
+			"algorithm", "span ns", "ops", "thread hops", "remote %", "local %", "idle %")
+		for _, name := range []string{"sense", "dis", "stour", "optimized"} {
+			cp := episodeCriticalPath(m, 64, algo.Registry[name])
+			total := cp.TotalNs()
+			tb.AddRow(name,
+				table.Cell(total),
+				table.CellInt(len(cp.Ops)),
+				table.CellInt(cp.CrossThreadHops),
+				table.Cell(100*cp.RemoteNs/total),
+				table.Cell(100*cp.LocalNs/total),
+				table.Cell(100*cp.IdleNs/total))
+		}
+		tb.AddNote("path reconstructed from line-queue, interconnect-queue and wake dependencies")
+		out = append(out, tb)
+	}
+	return out
+}
+
+// episodeCriticalPath traces the final episode of a short run.
+func episodeCriticalPath(m *topology.Machine, threads int, factory algo.Factory) sim.CriticalPath {
+	place, err := topology.Compact(m, threads)
+	if err != nil {
+		panic(err)
+	}
+	rec := &sim.Recorder{}
+	tracing := false
+	k, err := sim.New(sim.Config{Machine: m, Placement: place, Trace: func(e sim.Event) {
+		if tracing {
+			rec.Record(e)
+		}
+	}})
+	if err != nil {
+		panic(err)
+	}
+	b := factory(k, threads)
+	const warm = 3
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < warm; e++ {
+			b.Wait(t)
+		}
+		if t.ID() == 0 {
+			tracing = true
+		}
+		b.Wait(t)
+	})
+	cp, err := rec.CriticalPath()
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+// EpisodeCriticalPath is exported for tests.
+func EpisodeCriticalPath(m *topology.Machine, threads int, factory algo.Factory) sim.CriticalPath {
+	return episodeCriticalPath(m, threads, factory)
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/table"
+	"armbarrier/model"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// The paper's Figures 8, 9 and 10 are conceptual diagrams; these
+// experiments reproduce their quantitative content: the memory
+// operations at one barrier point for packed vs padded flags (Fig. 8),
+// the cross-cluster cacheline movements of fan-in 3 vs 4 arrival trees
+// on Phytium (Fig. 9), and the remote-edge counts of the binary vs
+// NUMA-aware wake-up trees on ThunderX2 (Fig. 10).
+
+func init() {
+	All = append(All,
+		Experiment{ID: "fig8", Title: "Figure 8: ops at one barrier point, packed vs padded flags", Run: runFigure8},
+		Experiment{ID: "fig9", Title: "Figure 9: cross-cluster edges of fan-in 3 vs 4 arrival trees (9 threads, Phytium)", Run: runFigure9},
+		Experiment{ID: "fig10", Title: "Figure 10: remote edges of binary vs NUMA-aware wake-up trees (ThunderX2)", Run: runFigure10},
+	)
+}
+
+// runFigure8 recreates the figure's exact scenario: node 0 is the
+// parent of nodes 1-3; node 3 lives in a different core cluster. One
+// barrier episode is traced and the resulting operation mix reported
+// for the packed and the padded flag layout.
+func runFigure8(opts Options) []*table.Table {
+	m := topology.Kunpeng920() // clusters of 4, as in the figure
+	tb := table.New("Figure 8: one 4-thread barrier point on kunpeng920 (node 3 in another cluster)",
+		"layout", "remote stores", "remote loads", "local loads", "episode ns")
+	for _, padded := range []bool{false, true} {
+		stats, ns := traceBarrierPoint(m, padded, opts)
+		layout := "packed (shared line)"
+		if padded {
+			layout = "padded (line per flag)"
+		}
+		tb.AddRow(layout,
+			table.CellInt(int(stats.RemoteStores)),
+			table.CellInt(int(stats.RemoteLoads)),
+			table.CellInt(int(stats.LocalLoads)),
+			table.Cell(ns))
+	}
+	tb.AddNote("one traced episode after warm-up; threads 0-2 share a cluster, thread 3 does not")
+	return []*table.Table{tb}
+}
+
+// traceBarrierPoint measures one steady-state episode of a single
+// 4-way group by differencing two runs (N and N+1 episodes) — exact
+// per-episode op attribution on the deterministic simulator.
+func traceBarrierPoint(m *topology.Machine, padded bool, opts Options) (sim.Stats, float64) {
+	run := func(episodes int) (sim.Stats, float64) {
+		place, err := topology.Custom(m, []int{0, 1, 2, 4}) // 3 intra + 1 cross
+		if err != nil {
+			panic(err)
+		}
+		k, err := sim.New(sim.Config{Machine: m, Placement: place})
+		if err != nil {
+			panic(err)
+		}
+		b := algo.NewFWay(k, 4, algo.FWayConfig{
+			Schedule: []int{4},
+			Padded:   padded,
+			Wakeup:   algo.WakeGlobal,
+		})
+		k.Run(func(t *sim.Thread) {
+			for e := 0; e < episodes; e++ {
+				b.Wait(t)
+			}
+		})
+		return k.Stats(), k.MaxTime()
+	}
+	const warm = 4
+	s1, t1 := run(warm)
+	s2, t2 := run(warm + 1)
+	diff := sim.Stats{
+		Loads:        s2.Loads - s1.Loads,
+		LocalLoads:   s2.LocalLoads - s1.LocalLoads,
+		RemoteLoads:  s2.RemoteLoads - s1.RemoteLoads,
+		Stores:       s2.Stores - s1.Stores,
+		RemoteStores: s2.RemoteStores - s1.RemoteStores,
+		Atomics:      s2.Atomics - s1.Atomics,
+	}
+	return diff, t2 - t1
+}
+
+// runFigure9 counts intra- vs cross-cluster parent-child edges of the
+// 9-thread arrival trees with fan-in 3 (balanced) and fan-in 4 (the
+// paper's recommendation) on Phytium 2000+, and measures both.
+func runFigure9(opts Options) []*table.Table {
+	m := topology.Phytium2000()
+	const P = 9
+	tb := table.New("Figure 9: 9-thread arrival trees on phytium2000",
+		"fan-in", "intra-cluster edges", "cross-cluster edges", "simulated ns")
+	for _, f := range []int{3, 4} {
+		intra, cross := arrivalEdgeCounts(m, P, f)
+		ns := algo.MustMeasure(m, P, func(k *sim.Kernel, p int) algo.Barrier {
+			return algo.NewFWay(k, p, algo.FWayConfig{
+				Schedule: model.FixedFanInSchedule(p, f),
+				Padded:   true,
+				Wakeup:   algo.WakeGlobal,
+				Name:     fmt.Sprintf("stour%d", f),
+			})
+		}, algo.MeasureOptions{Episodes: opts.episodes()})
+		tb.AddRow(table.CellInt(f), table.CellInt(intra), table.CellInt(cross), table.Cell(ns))
+	}
+	tb.AddNote("fan-in 3 balances the tree but splits core groups (N_c=4), adding L1 movements")
+	return []*table.Table{tb}
+}
+
+// arrivalEdgeCounts walks the static tournament structure counting
+// loser->winner signalling edges by locality (threads pinned compact).
+func arrivalEdgeCounts(m *topology.Machine, P, f int) (intra, cross int) {
+	sched := model.FixedFanInSchedule(P, f)
+	stride := 1
+	for _, fr := range sched {
+		for rank := 0; rank < P; rank += stride {
+			pidx := rank / stride
+			if pidx%fr == 0 {
+				continue // winner
+			}
+			winner := rank - (pidx%fr)*stride
+			if m.SameCluster(rank, winner) { // compact: thread == core
+				intra++
+			} else {
+				cross++
+			}
+		}
+		// Only current-round participants advance.
+		stride *= fr
+	}
+	return intra, cross
+}
+
+// runFigure10 reports the remote (cross-socket) edge counts of the two
+// wake-up trees on ThunderX2 at 64 threads, the exact comparison of
+// the paper's Figure 10, plus their measured wake-up cost.
+func runFigure10(opts Options) []*table.Table {
+	m := topology.ThunderX2()
+	const P = 64
+	tb := table.New("Figure 10: wake-up trees on thunderx2 (64 threads)",
+		"tree", "total edges", "cross-socket edges", "notification ns")
+	for _, row := range []struct {
+		name     string
+		children func(n int) []int
+		wake     algo.WakeupKind
+	}{
+		{"binary", func(n int) []int { return model.BinaryTreeChildren(n, P) }, algo.WakeBinaryTree},
+		{"NUMA-aware", func(n int) []int { return model.NUMATreeChildren(n, P, m.ClusterSize) }, algo.WakeNUMATree},
+	} {
+		total, cross := 0, 0
+		for n := 0; n < P; n++ {
+			for _, c := range row.children(n) {
+				total++
+				if !m.SameCluster(n, c) {
+					cross++
+				}
+			}
+		}
+		pb, err := algo.MeasurePhases(m, P, algo.FWayConfig{
+			Schedule: model.FixedFanInSchedule(P, 4),
+			Padded:   true,
+			Wakeup:   row.wake,
+		}, algo.MeasureOptions{Episodes: opts.episodes()})
+		if err != nil {
+			panic(err)
+		}
+		tb.AddRow(row.name, table.CellInt(total), table.CellInt(cross), table.Cell(pb.NotificationNs))
+	}
+	tb.AddNote("the paper: binary tree's cross-socket edges are about half of all edges; the NUMA tree needs one")
+	return []*table.Table{tb}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestFigure8PaddedEliminatesRemoteStoreChain(t *testing.T) {
+	m := topology.Kunpeng920()
+	opts := Options{Episodes: 5}
+	packedStats, packedNs := traceBarrierPoint(m, false, opts)
+	paddedStats, paddedNs := traceBarrierPoint(m, true, opts)
+	// The paper: padding "reduces the number of W_R from f-1 to 1 in
+	// the best case" — steady state here reaches the best case.
+	if paddedStats.RemoteStores >= packedStats.RemoteStores {
+		t.Errorf("padded remote stores (%d) not fewer than packed (%d)",
+			paddedStats.RemoteStores, packedStats.RemoteStores)
+	}
+	if paddedNs >= packedNs {
+		t.Errorf("padded episode (%.1fns) not cheaper than packed (%.1fns)", paddedNs, packedNs)
+	}
+}
+
+func TestFigure9FanIn4PreservesGrouping(t *testing.T) {
+	m := topology.Phytium2000()
+	intra3, cross3 := arrivalEdgeCounts(m, 9, 3)
+	intra4, cross4 := arrivalEdgeCounts(m, 9, 4)
+	// 9 threads always produce 8 signalling edges.
+	if intra3+cross3 != 8 || intra4+cross4 != 8 {
+		t.Fatalf("edge totals wrong: %d+%d, %d+%d", intra3, cross3, intra4, cross4)
+	}
+	// Fan-in 4 must keep more edges inside the N_c=4 core groups.
+	if cross4 >= cross3 {
+		t.Errorf("fan-in 4 cross edges (%d) not fewer than fan-in 3 (%d)", cross4, cross3)
+	}
+}
+
+func TestFigure10EdgeCounts(t *testing.T) {
+	tables := runFigure10(Options{Episodes: 5})
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("unexpected fig10 shape: %+v", tables)
+	}
+	// Row cells: name, total, cross, notification. Binary ~32 cross,
+	// NUMA exactly 1 (asserted precisely in model tests; here via the
+	// rendered table).
+	if tables[0].Rows[1][2] != "1" {
+		t.Errorf("NUMA tree cross-socket edges cell = %q, want 1", tables[0].Rows[1][2])
+	}
+}

@@ -1,0 +1,290 @@
+// Package experiments defines one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant barrier
+// configurations on the cache simulator and renders the same rows or
+// series the paper reports. The drivers are shared by cmd/barriersim,
+// the top-level benchmarks, and the integration tests that pin the
+// qualitative shape of every result.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"armbarrier/internal/table"
+	"armbarrier/model"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Episodes is the number of timed barrier episodes per data point
+	// (default 10). The simulator is deterministic, so more episodes
+	// tighten pipelining effects rather than noise.
+	Episodes int
+	// Threads overrides the default thread sweep
+	// {1,2,4,8,12,16,24,32,48,64}.
+	Threads []int
+}
+
+func (o Options) episodes() int {
+	if o.Episodes <= 0 {
+		return 10
+	}
+	return o.Episodes
+}
+
+func (o Options) threads(m *topology.Machine) []int {
+	sweep := o.Threads
+	if sweep == nil {
+		sweep = []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	}
+	out := make([]int, 0, len(sweep))
+	for _, p := range sweep {
+		if p >= 1 && p <= m.Cores {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the short name used on the command line ("fig7", "tab4").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and returns its result tables.
+	Run func(opts Options) []*table.Table
+}
+
+// All lists every experiment in paper order.
+var All = []Experiment{
+	{ID: "tab1", Title: "Table I: core-to-core latencies on Phytium 2000+ (ns)", Run: runTable1},
+	{ID: "tab2", Title: "Table II: core-to-core latencies on ThunderX2 (ns)", Run: runTable2},
+	{ID: "tab3", Title: "Table III: core-to-core latencies on Kunpeng920 (ns)", Run: runTable3},
+	{ID: "fig5", Title: "Figure 5: GCC and LLVM barrier overhead at 32 threads (us)", Run: runFigure5},
+	{ID: "fig6", Title: "Figure 6: GCC and LLVM barrier overhead vs threads (us)", Run: runFigure6},
+	{ID: "fig7", Title: "Figure 7: seven barrier algorithms vs threads (us)", Run: runFigure7},
+	{ID: "fig11", Title: "Figure 11: arrival-phase variants of the static f-way tournament (us)", Run: runFigure11},
+	{ID: "fig12", Title: "Figure 12: wake-up strategies (us)", Run: runFigure12},
+	{ID: "fig13", Title: "Figure 13: fan-in sweep at 64 threads (us)", Run: runFigure13},
+	{ID: "tab4", Title: "Table IV: speedup of the optimized barrier", Run: runTable4},
+	{ID: "placement", Title: "Extension: pinning policy vs cluster-aware grouping (us)", Run: runPlacement},
+	{ID: "dispad", Title: "Extension: dissemination flag padding ablation (us)", Run: runDisPadding},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs returns all experiment IDs in paper order.
+func IDs() []string {
+	ids := make([]string, len(All))
+	for i, e := range All {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// measure runs one simulated EPCC measurement and returns microseconds
+// (the unit of every figure in the paper).
+func measure(m *topology.Machine, threads int, f algo.Factory, opts Options) float64 {
+	return algo.MustMeasure(m, threads, f, algo.MeasureOptions{Episodes: opts.episodes()}) / 1000.0
+}
+
+// MeasureUs exposes the per-point measurement for benchmarks and tests.
+func MeasureUs(m *topology.Machine, threads int, f algo.Factory, opts Options) float64 {
+	return measure(m, threads, f, opts)
+}
+
+// sweepTable builds one table with a column per thread count and a row
+// per (name, factory) pair.
+func sweepTable(title string, m *topology.Machine, rows []namedFactory, opts Options) *table.Table {
+	threads := opts.threads(m)
+	cols := []string{"algorithm"}
+	for _, p := range threads {
+		cols = append(cols, fmt.Sprintf("%dT", p))
+	}
+	tb := table.New(title, cols...)
+	for _, r := range rows {
+		cells := []string{r.name}
+		for _, p := range threads {
+			cells = append(cells, table.Cell(measure(m, p, r.factory, opts)))
+		}
+		tb.AddRow(cells...)
+	}
+	tb.AddNote("simulated EPCC overhead in us per barrier on %s", m.Name)
+	return tb
+}
+
+type namedFactory struct {
+	name    string
+	factory algo.Factory
+}
+
+func namedFactories(names ...string) []namedFactory {
+	rows := make([]namedFactory, len(names))
+	for i, n := range names {
+		f, err := algo.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		rows[i] = namedFactory{name: n, factory: f}
+	}
+	return rows
+}
+
+// BestExisting returns the cheapest of the paper's seven algorithms at
+// the given thread count — the "state-of-the-art" row of Table IV.
+func BestExisting(m *topology.Machine, threads int, opts Options) (string, float64) {
+	bestName, best := "", 0.0
+	for _, n := range algo.PaperAlgorithms {
+		v := measure(m, threads, algo.Registry[n], opts)
+		if bestName == "" || v < best {
+			bestName, best = n, v
+		}
+	}
+	return bestName, best
+}
+
+func runTable4(opts Options) []*table.Table {
+	tb := table.New("Table IV: speedup of the optimized barrier (64 threads)",
+		"baseline", "phytium2000", "thunderx2", "kunpeng920", "geomean")
+	machines := topology.ARMMachines()
+	type row struct {
+		name   string
+		values []float64
+	}
+	rows := []row{{name: "gcc"}, {name: "llvm"}, {name: "state-of-the-art"}}
+	var bestNames []string
+	for _, m := range machines {
+		opt := measure(m, 64, algo.Optimized, opts)
+		gcc := measure(m, 64, algo.GCC, opts)
+		llvm := measure(m, 64, algo.LLVM, opts)
+		bestName, best := BestExisting(m, 64, opts)
+		bestNames = append(bestNames, fmt.Sprintf("%s:%s", m.Name, bestName))
+		rows[0].values = append(rows[0].values, gcc/opt)
+		rows[1].values = append(rows[1].values, llvm/opt)
+		rows[2].values = append(rows[2].values, best/opt)
+	}
+	for _, r := range rows {
+		cells := []string{r.name}
+		prod := 1.0
+		for _, v := range r.values {
+			cells = append(cells, table.CellX(v))
+			prod *= v
+		}
+		geo := cubeRoot(prod)
+		cells = append(cells, table.CellX(geo))
+		tb.AddRow(cells...)
+	}
+	tb.AddNote("state-of-the-art = best of the seven evaluated algorithms per machine (%v)", bestNames)
+	tb.AddNote("paper reports geomeans of 12.6x (GCC), 4.7x (LLVM) and 1.6x (state-of-the-art)")
+	return []*table.Table{tb}
+}
+
+func cubeRoot(x float64) float64 {
+	// x > 0 for speedups; avoid importing math for one call site chain.
+	lo, hi := 0.0, x+1
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid*mid*mid < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func runPlacement(opts Options) []*table.Table {
+	// Extension study: how much does the cluster-aware grouping of the
+	// optimized barrier recover when threads are pinned scattered
+	// across clusters instead of compactly?
+	var out []*table.Table
+	for _, m := range topology.ARMMachines() {
+		tb := table.New(fmt.Sprintf("Pinning sensitivity on %s (us, 64 threads)", m.Name),
+			"configuration", "compact", "scatter")
+		for _, cfg := range []struct {
+			name         string
+			clusterMajor bool
+		}{{"optimized (cluster-aware ranks)", true}, {"optimized (naive ranks)", false}} {
+			cells := []string{cfg.name}
+			for _, policy := range []string{"compact", "scatter"} {
+				place, err := placementFor(m, 64, policy)
+				if err != nil {
+					panic(err)
+				}
+				f := optimizedWithRanks(cfg.clusterMajor)
+				v := algo.MustMeasure(m, 64, f, algo.MeasureOptions{
+					Episodes: opts.episodes(), Placement: place,
+				}) / 1000.0
+				cells = append(cells, table.Cell(v))
+			}
+			tb.AddRow(cells...)
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+func placementFor(m *topology.Machine, threads int, policy string) (topology.Placement, error) {
+	switch policy {
+	case "compact":
+		return topology.Compact(m, threads)
+	case "scatter":
+		return topology.Scatter(m, threads)
+	}
+	return nil, fmt.Errorf("experiments: unknown placement %q", policy)
+}
+
+func optimizedWithRanks(clusterMajor bool) algo.Factory {
+	return func(k *sim.Kernel, p int) algo.Barrier {
+		wake := algo.WakeNUMATree
+		if model.PredictWakeup(k.Machine(), p) == "global" {
+			wake = algo.WakeGlobal
+		}
+		return algo.NewFWay(k, p, algo.FWayConfig{
+			Schedule:     model.FixedFanInSchedule(p, 4),
+			Padded:       true,
+			Wakeup:       wake,
+			ClusterMajor: clusterMajor,
+			Name:         "optimized",
+		})
+	}
+}
+
+func runDisPadding(opts Options) []*table.Table {
+	var out []*table.Table
+	for _, m := range topology.ARMMachines() {
+		rows := []namedFactory{
+			{name: "dis (packed rows)", factory: algo.NewDissemination},
+			{name: "dis (padded flags)", factory: algo.NewDisseminationPadded},
+		}
+		out = append(out, sweepTable(
+			fmt.Sprintf("Dissemination flag layout on %s (us)", m.Name), m, rows, opts))
+	}
+	return out
+}
+
+// SortedThreadColumns is a helper for tests: parse the "NT" headers of
+// a sweep table back into thread counts.
+func SortedThreadColumns(tb *table.Table) []int {
+	var out []int
+	for _, c := range tb.Columns[1:] {
+		var p int
+		if _, err := fmt.Sscanf(c, "%dT", &p); err == nil {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+var fastOpts = Options{Episodes: 6, Threads: []int{1, 4, 16, 64}}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(fastOpts)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				out := tb.Render()
+				if len(out) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s produced an empty table %q", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if got := len(IDs()); got != len(All) {
+		t.Fatalf("IDs() returned %d ids", got)
+	}
+}
+
+// --- Tables I-III: the simulator must reproduce the configured
+// latency layers through the ping-pong micro-benchmark. ---
+
+func TestPingPongMatchesLatencyTables(t *testing.T) {
+	cases := []struct {
+		m    *topology.Machine
+		a, b int
+	}{
+		{topology.Phytium2000(), 0, 1},
+		{topology.Phytium2000(), 0, 8},
+		{topology.Phytium2000(), 0, 56},
+		{topology.ThunderX2(), 0, 1},
+		{topology.ThunderX2(), 0, 32},
+		{topology.Kunpeng920(), 0, 1},
+		{topology.Kunpeng920(), 0, 4},
+		{topology.Kunpeng920(), 0, 32},
+	}
+	for _, c := range cases {
+		got := PingPongLatency(c.m, c.a, c.b)
+		want := c.m.LatencyBetween(c.a, c.b)
+		// Allow the reader-contention term of a single reader (0) plus
+		// small scheduling effects.
+		if math.Abs(got-want) > 0.05*want+1 {
+			t.Errorf("%s (%d,%d): ping-pong %.2f ns, want about %.2f ns", c.m.Name, c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestPingPongLocalEpsilon(t *testing.T) {
+	m := topology.ThunderX2()
+	if got := PingPongLatency(m, 3, 3); math.Abs(got-m.Epsilon) > 0.01 {
+		t.Fatalf("local ping-pong %.3f, want eps %.3f", got, m.Epsilon)
+	}
+}
+
+// --- Figure 5: ARMv8 runtime barriers are several times more
+// expensive than the Intel baseline. ---
+
+func TestFigure5ARMSlowerThanIntel(t *testing.T) {
+	opts := Options{Episodes: 6}
+	intel := MeasureUs(topology.XeonGold(), 32, algo.GCC, opts)
+	tx2 := MeasureUs(topology.ThunderX2(), 32, algo.GCC, opts)
+	if tx2 < 3*intel {
+		t.Fatalf("GCC at 32 threads: tx2 %.2fus vs intel %.2fus — want several times slower", tx2, intel)
+	}
+}
+
+// --- Figure 6/7: SENSE grows roughly linearly and is the most
+// expensive algorithm at scale; LLVM's tree barrier beats GCC. ---
+
+func TestSenseLinearGrowth(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		c16 := MeasureUs(m, 16, algo.NewSense, opts)
+		c64 := MeasureUs(m, 64, algo.NewSense, opts)
+		if c64 < 2.5*c16 {
+			t.Errorf("%s: SENSE 16T=%.2f 64T=%.2f — want near-linear growth", m.Name, c16, c64)
+		}
+	}
+}
+
+func TestSenseWorstAtScale(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		sense := MeasureUs(m, 64, algo.NewSense, opts)
+		for _, name := range []string{"dis", "cmb", "mcs", "tour", "stour", "dtour"} {
+			v := MeasureUs(m, 64, algo.Registry[name], opts)
+			if v >= sense {
+				t.Errorf("%s: %s (%.2fus) not cheaper than SENSE (%.2fus) at 64T", m.Name, name, v, sense)
+			}
+		}
+	}
+}
+
+func TestLLVMBeatsGCCAtScale(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		gcc := MeasureUs(m, 64, algo.GCC, opts)
+		llvm := MeasureUs(m, 64, algo.LLVM, opts)
+		if llvm >= gcc {
+			t.Errorf("%s: LLVM (%.2fus) not cheaper than GCC (%.2fus) at 64T", m.Name, llvm, gcc)
+		}
+	}
+}
+
+func TestDisseminationDegradesPastClusterSize(t *testing.T) {
+	// DIS should be clearly worse than the static tournament family at
+	// 64 threads (Section IV-B) on the clustered machines.
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		dis := MeasureUs(m, 64, algo.NewDissemination, opts)
+		tour := MeasureUs(m, 64, algo.NewTournament, opts)
+		if dis <= tour {
+			t.Errorf("%s: DIS (%.2fus) not worse than TOUR (%.2fus) at 64T", m.Name, dis, tour)
+		}
+	}
+}
+
+// --- Figure 11: padding and the fixed fan-in help the arrival phase. ---
+
+func TestFigure11PaddingHelps(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		packed := MeasureUs(m, 64, algo.STOUR, opts)
+		padded := MeasureUs(m, 64, algo.STOURPadded, opts)
+		pad4 := MeasureUs(m, 64, algo.Static4WayPadded, opts)
+		if padded >= packed {
+			t.Errorf("%s: padding did not help (packed %.2f, padded %.2f)", m.Name, packed, padded)
+		}
+		if pad4 > padded*1.02 {
+			t.Errorf("%s: fixed fan-in 4 (%.2f) worse than padded f-way (%.2f)", m.Name, pad4, padded)
+		}
+	}
+}
+
+// --- Figure 12: tree wake-ups win on Phytium/ThunderX2, the global
+// wake-up wins on Kunpeng920, and the NUMA-aware tree beats the binary
+// tree on the clustered machines at full scale. ---
+
+func TestFigure12WakeupChoices(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range []*topology.Machine{topology.Phytium2000(), topology.ThunderX2()} {
+		global := MeasureUs(m, 64, algo.OptimizedWith(algo.WakeGlobal), opts)
+		bin := MeasureUs(m, 64, algo.OptimizedWith(algo.WakeBinaryTree), opts)
+		numa := MeasureUs(m, 64, algo.OptimizedWith(algo.WakeNUMATree), opts)
+		if bin >= global {
+			t.Errorf("%s: binary tree (%.2f) not better than global (%.2f)", m.Name, bin, global)
+		}
+		if numa > bin {
+			t.Errorf("%s: NUMA tree (%.2f) worse than binary tree (%.2f)", m.Name, numa, bin)
+		}
+	}
+	kp := topology.Kunpeng920()
+	global := MeasureUs(kp, 64, algo.OptimizedWith(algo.WakeGlobal), opts)
+	bin := MeasureUs(kp, 64, algo.OptimizedWith(algo.WakeBinaryTree), opts)
+	if global > bin {
+		t.Errorf("kunpeng920: global (%.2f) should beat the binary tree (%.2f)", global, bin)
+	}
+}
+
+func TestFigure12SmallCountsConverge(t *testing.T) {
+	// "when the number of threads is small, T_global and T_tree are
+	// equal" — at 4 threads the strategies should be within ~35%.
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		global := MeasureUs(m, 4, algo.OptimizedWith(algo.WakeGlobal), opts)
+		bin := MeasureUs(m, 4, algo.OptimizedWith(algo.WakeBinaryTree), opts)
+		ratio := global / bin
+		if ratio < 1/1.4 || ratio > 1.4 {
+			t.Errorf("%s: at 4T global %.3f vs bintree %.3f diverge (ratio %.2f)", m.Name, global, bin, ratio)
+		}
+	}
+}
+
+// --- Figure 13: fan-in 4 is optimal at 64 threads on every machine. ---
+
+func TestFigure13FanIn4Optimal(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		base := MeasureUs(m, 64, algo.StaticFixedFanIn(4), opts)
+		for _, f := range Figure13FanIns {
+			if f == 4 {
+				continue
+			}
+			v := MeasureUs(m, 64, algo.StaticFixedFanIn(f), opts)
+			if v < base {
+				t.Errorf("%s: fan-in %d (%.2fus) beats fan-in 4 (%.2fus)", m.Name, f, v, base)
+			}
+		}
+	}
+}
+
+// --- Table IV: the headline speedups. ---
+
+func TestTable4Speedups(t *testing.T) {
+	opts := Options{Episodes: 8}
+	type target struct {
+		gccLo, gccHi   float64
+		llvmLo, llvmHi float64
+		bestLo         float64
+	}
+	// Wide acceptance bands around the paper's 8x/23x/11x (GCC),
+	// 2.7x/2.5x/9x (LLVM) and 1.7x/1.8x/1.4x (state-of-the-art):
+	// the substrate is a simulator, so we pin the decade and ordering.
+	targets := map[string]target{
+		"phytium2000": {gccLo: 5, gccHi: 20, llvmLo: 1.8, llvmHi: 5, bestLo: 1.05},
+		"thunderx2":   {gccLo: 12, gccHi: 60, llvmLo: 1.6, llvmHi: 5, bestLo: 1.05},
+		"kunpeng920":  {gccLo: 6, gccHi: 25, llvmLo: 5, llvmHi: 15, bestLo: 1.02},
+	}
+	for _, m := range topology.ARMMachines() {
+		tg := targets[m.Name]
+		opt := MeasureUs(m, 64, algo.Optimized, opts)
+		gcc := MeasureUs(m, 64, algo.GCC, opts) / opt
+		llvm := MeasureUs(m, 64, algo.LLVM, opts) / opt
+		_, best := BestExisting(m, 64, opts)
+		bestX := best / opt
+		if gcc < tg.gccLo || gcc > tg.gccHi {
+			t.Errorf("%s: GCC speedup %.1fx outside [%.0f, %.0f]", m.Name, gcc, tg.gccLo, tg.gccHi)
+		}
+		if llvm < tg.llvmLo || llvm > tg.llvmHi {
+			t.Errorf("%s: LLVM speedup %.1fx outside [%.1f, %.1f]", m.Name, llvm, tg.llvmLo, tg.llvmHi)
+		}
+		if bestX < tg.bestLo {
+			t.Errorf("%s: optimized (%.2fus) not faster than best existing (%.2fus)", m.Name, opt, best)
+		}
+	}
+}
+
+// --- Extensions ---
+
+func TestPlacementStudyClusterAwareHelpsWhenScattered(t *testing.T) {
+	tables := runPlacement(Options{Episodes: 6})
+	if len(tables) != 3 {
+		t.Fatalf("placement study produced %d tables", len(tables))
+	}
+	// On Kunpeng920 (small clusters), under scatter pinning the
+	// cluster-aware ranks must not lose to naive ranks.
+	m := topology.Kunpeng920()
+	scatter, err := topology.Scatter(m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := algo.MustMeasure(m, 64, optimizedWithRanks(true), algo.MeasureOptions{Episodes: 6, Placement: scatter})
+	naive := algo.MustMeasure(m, 64, optimizedWithRanks(false), algo.MeasureOptions{Episodes: 6, Placement: scatter})
+	if aware > naive*1.05 {
+		t.Errorf("cluster-aware ranks (%.0fns) worse than naive (%.0fns) under scatter", aware, naive)
+	}
+}
+
+func TestDisPaddingStudy(t *testing.T) {
+	tables := runDisPadding(Options{Episodes: 6, Threads: []int{16, 64}})
+	if len(tables) != 3 {
+		t.Fatalf("dis padding study produced %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if !strings.Contains(tb.Title, "Dissemination") {
+			t.Fatalf("unexpected table %q", tb.Title)
+		}
+	}
+}
+
+func TestSweepTableColumns(t *testing.T) {
+	m := topology.Kunpeng920()
+	tb := sweepTable("t", m, namedFactories("tour"), Options{Episodes: 4, Threads: []int{4, 2, 64}})
+	cols := SortedThreadColumns(tb)
+	if len(cols) != 3 || cols[0] != 2 || cols[2] != 64 {
+		t.Fatalf("thread columns = %v", cols)
+	}
+}
+
+func TestCubeRoot(t *testing.T) {
+	if got := cubeRoot(27); math.Abs(got-3) > 1e-6 {
+		t.Fatalf("cubeRoot(27) = %g", got)
+	}
+	if got := cubeRoot(1); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("cubeRoot(1) = %g", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.episodes() != 10 {
+		t.Fatalf("default episodes = %d", o.episodes())
+	}
+	m := topology.XeonGold() // 32 cores: 48/64 must be dropped
+	ts := o.threads(m)
+	for _, p := range ts {
+		if p > 32 {
+			t.Fatalf("thread sweep %v exceeds cores", ts)
+		}
+	}
+	if len(ts) == 0 {
+		t.Fatal("empty default sweep")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/table"
+	"armbarrier/model"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// This file holds the extension experiments that go beyond the paper's
+// figures: the per-algorithm memory-operation breakdown underlying the
+// Section III analysis, a cross-check of the analytical model against
+// the simulator, and the related-work algorithms of Section VII.
+
+func init() {
+	All = append(All,
+		Experiment{ID: "ops", Title: "Extension: per-episode memory-operation breakdown (Section III)", Run: runOpBreakdown},
+		Experiment{ID: "modelcheck", Title: "Extension: analytical model vs simulator", Run: runModelCheck},
+		Experiment{ID: "related", Title: "Extension: related-work algorithms (Section VII)", Run: runRelated},
+		Experiment{ID: "sweep", Title: "Extension: every algorithm x machine x thread count in one table", Run: runSweep},
+	)
+}
+
+// runSweep produces the complete data set behind Figures 6 and 7 plus
+// the runtime and optimized barriers in one table per machine — the
+// raw material for external plotting (use `barriersim -exp sweep -csv`).
+func runSweep(opts Options) []*table.Table {
+	names := []string{"sense", "dis", "cmb", "mcs", "tour", "stour", "dtour", "gcc", "llvm", "optimized", "ndis2", "hybrid", "ring"}
+	var out []*table.Table
+	for _, m := range topology.AllMachines() {
+		out = append(out, sweepTable(
+			fmt.Sprintf("All algorithms on %s (us)", m.Name), m, namedFactories(names...), opts))
+	}
+	return out
+}
+
+// runOpBreakdown reports, per algorithm at 64 threads, the average
+// per-episode counts of local/remote loads, stores and atomics plus
+// total invalidation traffic — the operation classes (R_L, R_R, W_L,
+// W_R) the paper's cost model is built from.
+func runOpBreakdown(opts Options) []*table.Table {
+	var out []*table.Table
+	names := append(append([]string{}, algo.PaperAlgorithms...), "optimized")
+	for _, m := range topology.ARMMachines() {
+		tb := table.New(
+			fmt.Sprintf("Memory operations per barrier episode on %s (64 threads)", m.Name),
+			"algorithm", "loads", "remote loads", "stores", "remote stores", "atomics", "inval ns", "ns/barrier")
+		for _, name := range names {
+			d, err := algo.MeasureDetailed(m, 64, algo.Registry[name], algo.MeasureOptions{Episodes: opts.episodes()})
+			if err != nil {
+				panic(err)
+			}
+			tb.AddRow(name,
+				table.Cell(d.OpsPerEpisode(d.Stats.Loads)),
+				table.Cell(d.OpsPerEpisode(d.Stats.RemoteLoads)),
+				table.Cell(d.OpsPerEpisode(d.Stats.Stores)),
+				table.Cell(d.OpsPerEpisode(d.Stats.RemoteStores)),
+				table.Cell(d.OpsPerEpisode(d.Stats.Atomics)),
+				table.Cell(d.Stats.InvalidationNs/float64(d.Episodes+d.Warmup)),
+				table.Cell(d.NsPerBarrier))
+		}
+		tb.AddNote("R_L/R_R/W_L/W_R classes of Section III-B, averaged over episodes")
+		out = append(out, tb)
+	}
+	return out
+}
+
+// OpBreakdown exposes a single detailed measurement for tests.
+func OpBreakdown(m *topology.Machine, threads int, name string, opts Options) (algo.Measurement, error) {
+	f, err := algo.ByName(name)
+	if err != nil {
+		return algo.Measurement{}, err
+	}
+	return algo.MeasureDetailed(m, threads, f, algo.MeasureOptions{Episodes: opts.episodes()})
+}
+
+// runModelCheck compares the analytical predictions (Equations 1, 3
+// and 4, evaluated with each machine's α, c and a representative
+// cross-cluster latency) against the simulator's measurement of the
+// corresponding barrier configurations at 64 threads.
+func runModelCheck(opts Options) []*table.Table {
+	tb := table.New("Analytical model vs simulator (64 threads, ns)",
+		"machine", "T(4) arrival", "T_global", "T_tree",
+		"sim opt+global", "sim opt+bintree", "model prefers", "sim prefers")
+	for _, m := range topology.ARMMachines() {
+		P := 64
+		L := representativeLatency(m)
+		arrival := model.ArrivalCost(P, 4, L, m.Alpha)
+		tg := model.GlobalWakeupCost(P, L, m.Alpha, m.ReadContention)
+		tt := model.TreeWakeupCost(P, L, m.Alpha)
+		simGlobal := algo.MustMeasure(m, P, algo.OptimizedWith(algo.WakeGlobal), algo.MeasureOptions{Episodes: opts.episodes()})
+		simTree := algo.MustMeasure(m, P, algo.OptimizedWith(algo.WakeBinaryTree), algo.MeasureOptions{Episodes: opts.episodes()})
+		simPref := "tree"
+		if simGlobal <= simTree {
+			simPref = "global"
+		}
+		tb.AddRow(m.Name,
+			table.Cell(arrival), table.Cell(tg), table.Cell(tt),
+			table.Cell(simGlobal), table.Cell(simTree),
+			model.PredictWakeup(m, P), simPref)
+	}
+	tb.AddNote("L = mean cross-cluster latency; the model predicts strategy ordering, not absolute cost")
+	return []*table.Table{tb}
+}
+
+// representativeLatency returns the mean latency over cross-cluster
+// core pairs involving core 0 — the single L the closed-form
+// equations need.
+func representativeLatency(m *topology.Machine) float64 {
+	sum, n := 0.0, 0
+	for b := 0; b < m.Cores; b++ {
+		if b != 0 && !m.SameCluster(0, b) {
+			sum += m.LatencyBetween(0, b)
+			n++
+		}
+	}
+	if n == 0 {
+		return m.Latency[0]
+	}
+	return sum / float64(n)
+}
+
+// RepresentativeLatency is exported for tests.
+func RepresentativeLatency(m *topology.Machine) float64 { return representativeLatency(m) }
+
+// runRelated compares the Section VII related-work algorithms against
+// the classic dissemination barrier and the optimized barrier.
+func runRelated(opts Options) []*table.Table {
+	var out []*table.Table
+	for _, m := range topology.ARMMachines() {
+		rows := []namedFactory{
+			{name: "dis", factory: algo.NewDissemination},
+			{name: "ndis2 (Hoefler)", factory: algo.NDis(2)},
+			{name: "hybrid (Rodchenko)", factory: algo.NewHybrid},
+			{name: "ring (Aravind)", factory: algo.NewRing},
+			{name: "optimized (this paper)", factory: algo.Optimized},
+		}
+		out = append(out, sweepTable(
+			fmt.Sprintf("Related-work algorithms on %s (us)", m.Name), m, rows, opts))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func TestOpBreakdownCounts(t *testing.T) {
+	m := topology.Kunpeng920()
+	opts := Options{Episodes: 5}
+	// Dissemination at 64 threads: every thread performs one store and
+	// one (eventual) successful spin per round, 6 rounds -> 384 stores
+	// per episode, no atomics.
+	d, err := OpBreakdown(m, 64, "dis", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := d.OpsPerEpisode(d.Stats.Stores)
+	if stores < 380 || stores > 390 {
+		t.Errorf("dis stores/episode = %.1f, want about 384", stores)
+	}
+	if d.Stats.Atomics != 0 {
+		t.Errorf("dis performed %d atomics, want 0", d.Stats.Atomics)
+	}
+
+	// SENSE: one atomic per thread per episode plus the occasional
+	// counter reset store.
+	s, err := OpBreakdown(m, 64, "sense", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomics := s.OpsPerEpisode(s.Stats.Atomics)
+	if atomics < 63.5 || atomics > 64.5 {
+		t.Errorf("sense atomics/episode = %.1f, want 64", atomics)
+	}
+
+	// The optimized barrier must move far fewer remote cachelines than
+	// SENSE: that is the entire optimization story.
+	o, err := OpBreakdown(m, 64, "optimized", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Atomics != 0 {
+		t.Errorf("optimized performed %d atomics, want 0 (static algorithm)", o.Stats.Atomics)
+	}
+	if o.NsPerBarrier >= s.NsPerBarrier {
+		t.Errorf("optimized (%.0f ns) not cheaper than sense (%.0f ns)", o.NsPerBarrier, s.NsPerBarrier)
+	}
+}
+
+func TestOpBreakdownUnknownAlgo(t *testing.T) {
+	if _, err := OpBreakdown(topology.Kunpeng920(), 8, "nope", Options{}); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestModelCheckOrderingMatchesSim(t *testing.T) {
+	// The analytical model's preferred wake-up strategy must agree
+	// with the simulator's at 64 threads on all three machines — the
+	// consistency the paper's methodology rests on.
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		pred := "tree"
+		if m.Name == "kunpeng920" {
+			pred = "global"
+		}
+		simGlobal := MeasureUs(m, 64, algo.OptimizedWith(algo.WakeGlobal), opts)
+		simTree := MeasureUs(m, 64, algo.OptimizedWith(algo.WakeBinaryTree), opts)
+		simPref := "tree"
+		if simGlobal <= simTree {
+			simPref = "global"
+		}
+		if simPref != pred {
+			t.Errorf("%s: simulator prefers %s, paper/model say %s", m.Name, simPref, pred)
+		}
+	}
+}
+
+func TestRepresentativeLatencyBounds(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		L := RepresentativeLatency(m)
+		min, max := m.Latency[0], m.MaxLatency()
+		if L < min || L > max {
+			t.Errorf("%s: representative latency %.1f outside [%.1f, %.1f]", m.Name, L, min, max)
+		}
+	}
+}
+
+func TestRelatedAlgorithmsShapes(t *testing.T) {
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		// n-way dissemination must not be slower than classic
+		// dissemination at scale (fewer rounds), per Hoefler et al.
+		dis := MeasureUs(m, 64, algo.NewDissemination, opts)
+		ndis := MeasureUs(m, 64, algo.NDis(2), opts)
+		if ndis > dis*1.1 {
+			t.Errorf("%s: ndis2 (%.2fus) much slower than dis (%.2fus)", m.Name, ndis, dis)
+		}
+		// The ring barrier's critical path is O(P): it must be slower
+		// than the optimized barrier at 64 threads.
+		ring := MeasureUs(m, 64, algo.NewRing, opts)
+		opt := MeasureUs(m, 64, algo.Optimized, opts)
+		if ring <= opt {
+			t.Errorf("%s: ring (%.2fus) not slower than optimized (%.2fus)", m.Name, ring, opt)
+		}
+	}
+}
+
+func TestHybridBeatsSense(t *testing.T) {
+	// Rodchenko's hybrid exists because it beats the centralized
+	// barrier; verify that carries over.
+	opts := Options{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		hybrid := MeasureUs(m, 64, algo.NewHybrid, opts)
+		sense := MeasureUs(m, 64, algo.NewSense, opts)
+		if hybrid >= sense {
+			t.Errorf("%s: hybrid (%.2fus) not cheaper than sense (%.2fus)", m.Name, hybrid, sense)
+		}
+	}
+}

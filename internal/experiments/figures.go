@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/table"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// ---- Tables I-III: core-to-core latency micro-benchmark ----
+//
+// The paper measures these with a two-thread micro-benchmark: one
+// thread places data, the other accesses it, pinned to chosen cores.
+// We run the same ping-pong on the simulator and report the average
+// observed remote-read latency, validating that the simulator exposes
+// exactly the configured layer structure.
+
+// PingPongLatency measures the average latency thread 1 (on core b)
+// pays to read a line freshly written by thread 0 (on core a). With
+// a == b it measures the local latency ε.
+func PingPongLatency(m *topology.Machine, a, b int) float64 {
+	const iters = 20
+	if a == b {
+		// Local: one thread re-reading its own line.
+		place, err := topology.Custom(m, []int{a})
+		if err != nil {
+			panic(err)
+		}
+		var total float64
+		var count int
+		k, err := sim.New(sim.Config{Machine: m, Placement: place, Trace: func(e sim.Event) {
+			if e.Kind == sim.OpLoad {
+				total += e.Cost
+				count++
+			}
+		}})
+		if err != nil {
+			panic(err)
+		}
+		x := k.AllocPadded(1)[0]
+		k.Run(func(t *sim.Thread) {
+			t.Store(x, 1)
+			for i := 0; i < iters; i++ {
+				t.Load(x)
+			}
+		})
+		return total / float64(count)
+	}
+	place, err := topology.Custom(m, []int{a, b})
+	if err != nil {
+		panic(err)
+	}
+	var total float64
+	var count int
+	k, err := sim.New(sim.Config{Machine: m, Placement: place, Trace: func(e sim.Event) {
+		if e.Kind == sim.OpLoad && e.Thread == 1 && e.Remote {
+			total += e.Cost
+			count++
+		}
+	}})
+	if err != nil {
+		panic(err)
+	}
+	data := k.AllocPadded(1)[0]
+	ack := k.AllocPadded(1)[0]
+	k.Run(func(t *sim.Thread) {
+		if t.ID() == 0 {
+			// Producer: place a new version, wait for the ack.
+			for i := uint64(1); i <= iters; i++ {
+				t.Store(data, i)
+				t.SpinUntilEqual(ack, i)
+			}
+		} else {
+			for i := uint64(1); i <= iters; i++ {
+				t.SpinUntilEqual(data, i)
+				t.Store(ack, i)
+			}
+		}
+	})
+	if count == 0 {
+		panic("experiments: ping-pong produced no remote loads")
+	}
+	return total / float64(count)
+}
+
+// latencyTable renders one Tables I-III row set: the probe pairs with
+// their layer names.
+func latencyTable(m *topology.Machine, probes []latencyProbe) *table.Table {
+	tb := table.New(fmt.Sprintf("Core-to-core latencies on %s", m.Name), "pair", "measured(ns)", "paper(ns)")
+	for _, p := range probes {
+		got := PingPongLatency(m, p.a, p.b)
+		tb.AddRow(p.label, table.Cell(got), table.Cell(m.LatencyBetween(p.a, p.b)))
+	}
+	tb.AddNote("measured = two-thread ping-pong on the simulator; paper = Tables I-III input values")
+	return tb
+}
+
+type latencyProbe struct {
+	label string
+	a, b  int
+}
+
+func runTable1(opts Options) []*table.Table {
+	m := topology.Phytium2000()
+	probes := []latencyProbe{
+		{"eps (local)", 0, 0},
+		{"L0 (within a core group)", 0, 1},
+		{"L1 (within a panel)", 0, 4},
+		{"L2 (panel 0-1)", 0, 8},
+		{"L3 (panel 0-2)", 0, 16},
+		{"L4 (panel 0-3)", 0, 24},
+		{"L5 (panel 0-4)", 0, 32},
+		{"L6 (panel 0-5)", 0, 40},
+		{"L7 (panel 0-6)", 0, 48},
+		{"L8 (panel 0-7)", 0, 56},
+	}
+	return []*table.Table{latencyTable(m, probes)}
+}
+
+func runTable2(opts Options) []*table.Table {
+	m := topology.ThunderX2()
+	probes := []latencyProbe{
+		{"eps (local)", 0, 0},
+		{"L0 (within a socket)", 0, 1},
+		{"L1 (across sockets)", 0, 32},
+	}
+	return []*table.Table{latencyTable(m, probes)}
+}
+
+func runTable3(opts Options) []*table.Table {
+	m := topology.Kunpeng920()
+	probes := []latencyProbe{
+		{"eps (local)", 0, 0},
+		{"L0 (within CCL)", 0, 1},
+		{"L1 (within a SCCL)", 0, 4},
+		{"L2 (across SCCL)", 0, 32},
+	}
+	return []*table.Table{latencyTable(m, probes)}
+}
+
+// ---- Figure 5: GCC/LLVM at 32 threads across machines ----
+
+func runFigure5(opts Options) []*table.Table {
+	tb := table.New("Figure 5: OpenMP barrier overhead at 32 threads (us)", "machine", "gcc", "llvm")
+	for _, m := range topology.AllMachines() {
+		tb.AddRow(m.Name,
+			table.Cell(measure(m, 32, algo.GCC, opts)),
+			table.Cell(measure(m, 32, algo.LLVM, opts)))
+	}
+	tb.AddNote("paper: ~2us on the Intel Xeon; up to 16us for GCC on ThunderX2 (an 8x slowdown)")
+	return []*table.Table{tb}
+}
+
+// ---- Figure 6: GCC (a) and LLVM (b) thread sweeps ----
+
+func runFigure6(opts Options) []*table.Table {
+	var out []*table.Table
+	for _, part := range []struct {
+		label string
+		f     algo.Factory
+	}{{"(a) GNU GCC", algo.GCC}, {"(b) LLVM", algo.LLVM}} {
+		threads := opts.threads(topology.Phytium2000())
+		cols := []string{"machine"}
+		for _, p := range threads {
+			cols = append(cols, fmt.Sprintf("%dT", p))
+		}
+		tb := table.New(fmt.Sprintf("Figure 6%s barrier overhead (us)", part.label), cols...)
+		for _, m := range topology.ARMMachines() {
+			cells := []string{m.Name}
+			for _, p := range threads {
+				cells = append(cells, table.Cell(measure(m, p, part.f, opts)))
+			}
+			tb.AddRow(cells...)
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// ---- Figure 7: the seven algorithms ----
+
+func runFigure7(opts Options) []*table.Table {
+	var out []*table.Table
+	// (a): SENSE alone, one row per machine (the paper separates it
+	// because it dwarfs the others).
+	threads := opts.threads(topology.Phytium2000())
+	cols := []string{"machine"}
+	for _, p := range threads {
+		cols = append(cols, fmt.Sprintf("%dT", p))
+	}
+	senseTb := table.New("Figure 7(a): SENSE overhead (us)", cols...)
+	for _, m := range topology.ARMMachines() {
+		cells := []string{m.Name}
+		for _, p := range threads {
+			cells = append(cells, table.Cell(measure(m, p, algo.NewSense, opts)))
+		}
+		senseTb.AddRow(cells...)
+	}
+	out = append(out, senseTb)
+	// (b)-(d): the other six algorithms per machine.
+	panels := []string{"(b)", "(c)", "(d)"}
+	for i, m := range topology.ARMMachines() {
+		rows := namedFactories("dis", "cmb", "mcs", "tour", "stour", "dtour")
+		out = append(out, sweepTable(
+			fmt.Sprintf("Figure 7%s: barrier algorithms on %s (us)", panels[i], m.Name), m, rows, opts))
+	}
+	return out
+}
+
+// ---- Figure 11: arrival-phase variants ----
+
+func runFigure11(opts Options) []*table.Table {
+	var out []*table.Table
+	panels := []string{"(a)", "(b)", "(c)"}
+	for i, m := range topology.ARMMachines() {
+		rows := []namedFactory{
+			{name: "static f-way", factory: algo.STOUR},
+			{name: "padding static f-way", factory: algo.STOURPadded},
+			{name: "padding static 4-way", factory: algo.Static4WayPadded},
+		}
+		out = append(out, sweepTable(
+			fmt.Sprintf("Figure 11%s: arrival-phase variants on %s (us)", panels[i], m.Name), m, rows, opts))
+	}
+	return out
+}
+
+// ---- Figure 12: wake-up strategies ----
+
+func runFigure12(opts Options) []*table.Table {
+	var out []*table.Table
+	panels := []string{"(a)", "(b)", "(c)"}
+	for i, m := range topology.ARMMachines() {
+		rows := []namedFactory{
+			{name: "global", factory: algo.OptimizedWith(algo.WakeGlobal)},
+			{name: "binary tree", factory: algo.OptimizedWith(algo.WakeBinaryTree)},
+			{name: "NUMA-aware tree", factory: algo.OptimizedWith(algo.WakeNUMATree)},
+		}
+		out = append(out, sweepTable(
+			fmt.Sprintf("Figure 12%s: wake-up strategies on %s (us)", panels[i], m.Name), m, rows, opts))
+	}
+	return out
+}
+
+// ---- Figure 13: fan-in sweep at 64 threads ----
+
+// Figure13FanIns are the fan-ins swept by the figure.
+var Figure13FanIns = []int{2, 4, 8, 16, 32}
+
+func runFigure13(opts Options) []*table.Table {
+	cols := []string{"machine"}
+	for _, f := range Figure13FanIns {
+		cols = append(cols, fmt.Sprintf("f=%d", f))
+	}
+	tb := table.New("Figure 13: static f-way tournament fan-in sweep at 64 threads (us)", cols...)
+	for _, m := range topology.ARMMachines() {
+		cells := []string{m.Name}
+		for _, f := range Figure13FanIns {
+			cells = append(cells, table.Cell(measure(m, 64, algo.StaticFixedFanIn(f), opts)))
+		}
+		tb.AddRow(cells...)
+	}
+	tb.AddNote("the paper observes the best performance with a fan-in of 4 on all three platforms")
+	return []*table.Table{tb}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/table"
+	"armbarrier/model"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func init() {
+	All = append(All,
+		Experiment{ID: "imbalance", Title: "Extension: barrier cost under load imbalance", Run: runImbalance},
+		Experiment{ID: "toposched", Title: "Extension: topology-derived arrival schedule vs fixed fan-in 4", Run: runTopoSchedule},
+	)
+}
+
+// runImbalance shows when the barrier choice matters: with balanced or
+// mildly skewed work the optimized barrier's advantage over SENSE is
+// large; once one straggler dominates the episode, synchronization
+// cost hides behind it — the "interval between barriers" effect the
+// paper's introduction describes, from the other side.
+func runImbalance(opts Options) []*table.Table {
+	var out []*table.Table
+	skews := []float64{0, 500, 2000, 8000, 32000}
+	for _, m := range topology.ARMMachines() {
+		cols := []string{"algorithm"}
+		for _, s := range skews {
+			cols = append(cols, fmt.Sprintf("skew=%.0fns", s))
+		}
+		tb := table.New(fmt.Sprintf("Episode time under a rotating straggler on %s (us, 64 threads)", m.Name), cols...)
+		for _, row := range []struct {
+			name string
+			f    algo.Factory
+		}{{"sense", algo.NewSense}, {"optimized", algo.Optimized}} {
+			cells := []string{row.name}
+			for _, s := range skews {
+				work := algo.SkewedWork(64, 100, 100+s)
+				episode, _, err := algo.MeasureWithWork(m, 64, row.f, work,
+					algo.MeasureOptions{Episodes: opts.episodes()})
+				if err != nil {
+					panic(err)
+				}
+				cells = append(cells, table.Cell(episode/1000))
+			}
+			tb.AddRow(cells...)
+		}
+		tb.AddNote("every thread computes 100ns; one rotating straggler computes 100ns+skew")
+		out = append(out, tb)
+	}
+	return out
+}
+
+// runTopoSchedule compares the fixed fan-in 4 (the paper's choice)
+// against an arrival schedule derived from the machine's own sharing
+// hierarchy (cluster-sized first round).
+func runTopoSchedule(opts Options) []*table.Table {
+	tb := table.New("Topology-derived schedule vs fixed fan-in 4 (us, 64 threads)",
+		"machine", "fixed f=4", "topology schedule", "schedule")
+	for _, m := range topology.ARMMachines() {
+		fixed := measure(m, 64, algo.Static4WayPadded, opts)
+		sched := model.TopologySchedule(m, 64)
+		topo := measure(m, 64, func(k *sim.Kernel, p int) algo.Barrier {
+			return algo.NewFWay(k, p, algo.FWayConfig{
+				Schedule:     model.TopologySchedule(m, p),
+				Padded:       true,
+				Wakeup:       algo.WakeGlobal,
+				ClusterMajor: true,
+				Name:         "topo-sched",
+			})
+		}, opts)
+		tb.AddRow(m.Name, table.Cell(fixed), table.Cell(topo), fmt.Sprintf("%v", sched))
+	}
+	tb.AddNote("both use padded flags and the global wake-up; only the arrival grouping differs")
+	return []*table.Table{tb}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"armbarrier/internal/stats"
+	"armbarrier/internal/table"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func init() {
+	All = append(All,
+		Experiment{ID: "phases", Title: "Extension: Arrival vs Notification phase breakdown (Section V)", Run: runPhases},
+		Experiment{ID: "noise", Title: "Extension: per-episode steady-state spread (the paper's <2% noise)", Run: runNoise},
+	)
+}
+
+// runPhases splits the optimized barrier's cost into its two phases
+// for each wake-up strategy — the decomposition Section V optimizes.
+func runPhases(opts Options) []*table.Table {
+	var out []*table.Table
+	for _, m := range topology.ARMMachines() {
+		tb := table.New(
+			fmt.Sprintf("Phase breakdown at 64 threads on %s (ns)", m.Name),
+			"wake-up", "arrival", "notification", "total")
+		for _, w := range []algo.WakeupKind{algo.WakeGlobal, algo.WakeBinaryTree, algo.WakeNUMATree} {
+			cfg := algo.FWayConfig{
+				Schedule:     nil, // balanced; set fixed fan-in below
+				Padded:       true,
+				Wakeup:       w,
+				ClusterMajor: true,
+			}
+			pb, err := algo.MeasurePhases(m, 64, cfg, algo.MeasureOptions{Episodes: opts.episodes()})
+			if err != nil {
+				panic(err)
+			}
+			tb.AddRow(w.String(), table.Cell(pb.ArrivalNs), table.Cell(pb.NotificationNs), table.Cell(pb.TotalNs()))
+		}
+		tb.AddNote("padded f-way arrival is identical across rows; only the Notification-Phase differs")
+		out = append(out, tb)
+	}
+	return out
+}
+
+// runNoise reports per-episode spread for a few algorithms, the
+// simulator analogue of the paper's "noise across runs below 2%".
+func runNoise(opts Options) []*table.Table {
+	tb := table.New("Per-episode steady-state spread at 64 threads (relative stddev, %)",
+		"algorithm", "phytium2000", "thunderx2", "kunpeng920")
+	for _, name := range []string{"sense", "dis", "stour", "optimized"} {
+		cells := []string{name}
+		for _, m := range topology.ARMMachines() {
+			eps, err := algo.MeasureEpisodes(m, 64, algo.Registry[name], algo.MeasureOptions{
+				Warmup: 5, Episodes: opts.episodes() + 5,
+			})
+			if err != nil {
+				panic(err)
+			}
+			cells = append(cells, table.Cell(100*stats.RelStdDev(eps)))
+		}
+		tb.AddRow(cells...)
+	}
+	tb.AddNote("deterministic simulator: spread reflects episode pipelining, not measurement noise")
+	return []*table.Table{tb}
+}

@@ -1,0 +1,204 @@
+// Package plot renders series as ASCII line charts for the terminal,
+// so cmd/barriersim can draw the paper's figures (overhead vs thread
+// count) and not just print their tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"armbarrier/internal/table"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options configures Chart rendering.
+type Options struct {
+	// Width and Height of the plotting area in characters
+	// (default 64x16).
+	Width, Height int
+	// LogY plots log10(y); barrier overheads span decades.
+	LogY bool
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// XLabel annotates the horizontal axis.
+	XLabel string
+}
+
+// markers distinguish series within one chart.
+var markers = []byte{'o', 'x', '*', '+', '#', '@', '%', '&'}
+
+// Chart renders the series into an ASCII chart. Series with mismatched
+// X/Y lengths or no points are reported as an error.
+func Chart(title string, series []Series, opts Options) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yval := func(y float64) (float64, error) {
+		if !opts.LogY {
+			return y, nil
+		}
+		if y <= 0 {
+			return 0, fmt.Errorf("plot: log scale requires positive values, got %g", y)
+		}
+		return math.Log10(y), nil
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			y, err := yval(s.Y[i])
+			if err != nil {
+				return "", err
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			y, _ := yval(s.Y[i])
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+			if grid[row][col] == ' ' || grid[row][col] == mark {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '?' // collision between series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	yTop, yBot := maxY, minY
+	if opts.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for r := 0; r < h; r++ {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8s", trim(yTop))
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%8s", trim(yBot))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", 8), w-len(trim(maxX)), trim(minX), trim(maxX))
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), opts.XLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String(), nil
+}
+
+func trim(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// FromSweepTable converts a sweep table (first column = series name,
+// remaining columns "NT" with numeric cells) into chart series.
+func FromSweepTable(tb *table.Table) ([]Series, error) {
+	if len(tb.Columns) < 2 {
+		return nil, fmt.Errorf("plot: table %q has no data columns", tb.Title)
+	}
+	xs := make([]float64, 0, len(tb.Columns)-1)
+	for _, c := range tb.Columns[1:] {
+		var p int
+		if _, err := fmt.Sscanf(c, "%dT", &p); err != nil {
+			return nil, fmt.Errorf("plot: column %q of %q is not a thread count", c, tb.Title)
+		}
+		xs = append(xs, float64(p))
+	}
+	var out []Series
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			return nil, fmt.Errorf("plot: ragged row in %q", tb.Title)
+		}
+		s := Series{Name: row[0], X: xs}
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("plot: cell %q in %q: %v", cell, tb.Title, err)
+			}
+			s.Y = append(s.Y, v)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plot: table %q has no rows", tb.Title)
+	}
+	return out, nil
+}
+
+// SweepChart renders a sweep table directly as a chart, or returns an
+// error if the table is not a sweep.
+func SweepChart(tb *table.Table, logY bool) (string, error) {
+	series, err := FromSweepTable(tb)
+	if err != nil {
+		return "", err
+	}
+	// Log charts cannot show exact zeros (1-thread barriers cost ~0);
+	// clamp to a small positive floor instead of failing.
+	if logY {
+		for _, s := range series {
+			for i, y := range s.Y {
+				if y <= 0 {
+					s.Y[i] = 0.001
+				}
+			}
+		}
+	}
+	return Chart(tb.Title, series, Options{LogY: logY, YLabel: "us/barrier", XLabel: "threads"})
+}
+
+// SortSeriesByName orders series alphabetically, for deterministic
+// legends when input order varies.
+func SortSeriesByName(series []Series) {
+	sort.Slice(series, func(a, b int) bool { return series[a].Name < series[b].Name })
+}

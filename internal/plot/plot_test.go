@@ -1,0 +1,144 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/internal/table"
+)
+
+func TestChartBasic(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 4, 8}},
+		{Name: "b", X: []float64{1, 2, 4, 8}, Y: []float64{8, 4, 2, 1}},
+	}
+	out, err := Chart("demo", s, Options{Width: 32, Height: 8, XLabel: "threads", YLabel: "us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "o=a", "x=b", "threads", "us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series 'a' must appear in the top row at the right edge.
+	lines := strings.Split(out, "\n")
+	top := lines[2] // title, ylabel, first grid row
+	if !strings.Contains(top, "o") && !strings.Contains(top, "?") {
+		t.Fatalf("series a missing from top row:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart("t", nil, Options{}); err == nil {
+		t.Error("accepted no series")
+	}
+	if _, err := Chart("t", []Series{{Name: "a", X: []float64{1}, Y: nil}}, Options{}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := Chart("t", []Series{{Name: "a"}}, Options{}); err == nil {
+		t.Error("accepted empty series")
+	}
+	if _, err := Chart("t", []Series{{Name: "a", X: []float64{1}, Y: []float64{0}}}, Options{LogY: true}); err == nil {
+		t.Error("accepted zero on log scale")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point, constant series: must not divide by zero.
+	out, err := Chart("t", []Series{{Name: "a", X: []float64{4}, Y: []float64{2}}}, Options{})
+	if err != nil || out == "" {
+		t.Fatalf("single point chart failed: %v", err)
+	}
+	out, err = Chart("t", []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{5, 5}}}, Options{})
+	if err != nil || out == "" {
+		t.Fatalf("constant chart failed: %v", err)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{1, 2, 3}, Y: []float64{0.01, 1, 100}}}
+	out, err := Chart("log", s, Options{LogY: true, Height: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0.01") {
+		t.Fatalf("log chart missing axis labels:\n%s", out)
+	}
+}
+
+func TestFromSweepTable(t *testing.T) {
+	tb := table.New("sweep", "algorithm", "2T", "8T", "64T")
+	tb.AddRow("sense", "0.10", "0.50", "5.80")
+	tb.AddRow("opt", "0.05", "0.20", "0.57")
+	series, err := FromSweepTable(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "sense" {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[1].X[2] != 64 || series[1].Y[2] != 0.57 {
+		t.Fatalf("series values wrong: %+v", series[1])
+	}
+}
+
+func TestFromSweepTableErrors(t *testing.T) {
+	bad := table.New("x", "algorithm", "banana")
+	bad.AddRow("a", "1")
+	if _, err := FromSweepTable(bad); err == nil {
+		t.Error("accepted non-thread column")
+	}
+	empty := table.New("x", "algorithm", "2T")
+	if _, err := FromSweepTable(empty); err == nil {
+		t.Error("accepted empty table")
+	}
+	nonNum := table.New("x", "algorithm", "2T")
+	nonNum.AddRow("a", "oops")
+	if _, err := FromSweepTable(nonNum); err == nil {
+		t.Error("accepted non-numeric cell")
+	}
+	ragged := table.New("x", "algorithm", "2T", "4T")
+	ragged.AddRow("a", "1")
+	if _, err := FromSweepTable(ragged); err == nil {
+		t.Error("accepted ragged row")
+	}
+	noCols := table.New("x")
+	if _, err := FromSweepTable(noCols); err == nil {
+		t.Error("accepted table without data columns")
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	tb := table.New("sweep", "algorithm", "2T", "64T")
+	tb.AddRow("a", "0.00", "5.00") // zero cell: log mode must clamp
+	out, err := SweepChart(tb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "us/barrier") {
+		t.Fatalf("missing axis label:\n%s", out)
+	}
+}
+
+func TestSortSeriesByName(t *testing.T) {
+	s := []Series{{Name: "b"}, {Name: "a"}}
+	SortSeriesByName(s)
+	if s[0].Name != "a" {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestCollisionMarker(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{1}, Y: []float64{1}},
+	}
+	out, err := Chart("t", s, Options{Width: 8, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "?") {
+		t.Fatalf("collision not marked:\n%s", out)
+	}
+}

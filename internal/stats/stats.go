@@ -1,0 +1,136 @@
+// Package stats provides the small set of summary statistics used by the
+// barrier experiments: mean, geometric mean, standard deviation, extrema,
+// and speedup helpers. All functions operate on float64 slices and are
+// deliberately allocation-free.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns an error otherwise. It returns 0 for an empty slice.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	logSum := 0.0
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: GeoMean requires positive values, got %g at index %d", x, i)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// MustGeoMean is GeoMean for inputs known to be positive; it panics on a
+// non-positive value. Use it for constant experiment post-processing.
+func MustGeoMean(xs []float64) float64 {
+	g, err := GeoMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 when len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the minimum of xs. It returns +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It returns -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, interpolating between the two middle
+// elements for even lengths. It returns 0 for an empty slice and does not
+// modify its argument.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Speedup returns baseline/optimized, the conventional "x faster" ratio.
+// It returns an error if optimized is not positive.
+func Speedup(baseline, optimized float64) (float64, error) {
+	if optimized <= 0 {
+		return 0, fmt.Errorf("stats: Speedup requires a positive optimized time, got %g", optimized)
+	}
+	return baseline / optimized, nil
+}
+
+// RelStdDev returns the coefficient of variation (stddev/mean) of xs,
+// used to check the paper's "noise across runs below 2%" observation on
+// the deterministic simulator. It returns 0 when the mean is 0.
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// ArgMin returns the index of the smallest element, breaking ties toward
+// the lower index. It returns -1 for an empty slice.
+func ArgMin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best == -1 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

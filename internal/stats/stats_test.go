@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEqual(got, 2.5) {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMeanSingle(t *testing.T) {
+	if got := Mean([]float64{42}); !almostEqual(got, 42) {
+		t.Fatalf("Mean = %g, want 42", got)
+	}
+}
+
+func TestGeoMeanSimple(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 4) {
+		t.Fatalf("GeoMean = %g, want 4", g)
+	}
+}
+
+func TestGeoMeanPaperTable4(t *testing.T) {
+	// Table IV: GCC row 8x, 23x, 11x -> geomean reported as 12.6x.
+	g, err := GeoMean([]float64{8, 23, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-12.6) > 0.2 {
+		t.Fatalf("GeoMean(8,23,11) = %g, want about 12.6 as in Table IV", g)
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	if _, err := GeoMean([]float64{1, 0, 2}); err == nil {
+		t.Fatal("GeoMean accepted a zero value")
+	}
+	if _, err := GeoMean([]float64{1, -3}); err == nil {
+		t.Fatal("GeoMean accepted a negative value")
+	}
+}
+
+func TestGeoMeanEmpty(t *testing.T) {
+	g, err := GeoMean(nil)
+	if err != nil || g != 0 {
+		t.Fatalf("GeoMean(nil) = %g, %v; want 0, nil", g, err)
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeoMean did not panic on non-positive input")
+		}
+	}()
+	MustGeoMean([]float64{-1})
+}
+
+func TestStdDev(t *testing.T) {
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if !almostEqual(got, want) {
+		t.Fatalf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestStdDevDegenerate(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev of single element = %g, want 0", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev(nil) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %g, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %g, want 7", got)
+	}
+	if !math.IsInf(Min(nil), 1) {
+		t.Fatal("Min(nil) should be +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Fatal("Max(nil) should be -Inf")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("Median = %g, want 5", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); !almostEqual(got, 2.5) {
+		t.Fatalf("Median = %g, want 2.5", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 5) {
+		t.Fatalf("Speedup = %g, want 5", s)
+	}
+	if _, err := Speedup(10, 0); err == nil {
+		t.Fatal("Speedup accepted zero denominator")
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if got := RelStdDev([]float64{10, 10, 10}); got != 0 {
+		t.Fatalf("RelStdDev of constants = %g, want 0", got)
+	}
+	if got := RelStdDev(nil); got != 0 {
+		t.Fatalf("RelStdDev(nil) = %g, want 0", got)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	if got := ArgMin([]float64{5, 2, 8, 2}); got != 1 {
+		t.Fatalf("ArgMin = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Fatalf("ArgMin(nil) = %d, want -1", got)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes moderate so the sum cannot overflow.
+			xs = append(xs, math.Mod(x, 1e9))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geomean of positive values is bounded by min and max, and is
+// no larger than the arithmetic mean (AM-GM).
+func TestQuickGeoMeanAMGM(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Map into a positive, moderate range.
+			xs = append(xs, 1+math.Abs(math.Mod(x, 1000)))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := MustGeoMean(xs)
+		return g >= Min(xs)-1e-6 && g <= Max(xs)+1e-6 && g <= Mean(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stddev is invariant under translation.
+func TestQuickStdDevShiftInvariant(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 1e6)
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		a, b := StdDev(xs), StdDev(shifted)
+		return math.Abs(a-b) < 1e-6*(1+a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package table renders experiment results as aligned ASCII tables and
+// CSV, the two output formats of the benchmark harness. A Table is a
+// title, a header row and string cells; numeric helpers format float64
+// series consistently across experiments.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a rectangular result set. Rows may be ragged only up to the
+// header width; Render pads short rows with empty cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form lines printed after the table body.
+	Notes []string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell formats a float64 with a precision suited to latency values:
+// two decimals below 100, one decimal below 10000, integers above.
+func Cell(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "-"
+	case v < 0:
+		return fmt.Sprintf("%.2f", v)
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	case v < 10000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// CellX formats a speedup factor, e.g. "12.6x".
+func CellX(v float64) string {
+	return fmt.Sprintf("%.1fx", v)
+}
+
+// CellInt formats an integer cell.
+func CellInt(v int) string {
+	return strconv.Itoa(v)
+}
+
+// width returns the number of columns the rendered table needs.
+func (t *Table) width() int {
+	w := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	return w
+}
+
+// Render returns the table as an aligned ASCII block terminated by a
+// newline. Columns are left-aligned for the first column and
+// right-aligned otherwise (the convention for numeric result tables).
+func (t *Table) Render() string {
+	w := t.width()
+	widths := make([]int, w)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < w; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+		total := 0
+		for _, cw := range widths {
+			total += cw
+		}
+		total += 2 * (w - 1)
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV form (header then rows).
+// Cells containing commas, quotes or newlines are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("bb", "22")
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title in output:\n%s", out)
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("", "k", "v")
+	tb.AddRow("longname", "7")
+	tb.AddRow("x", "123")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines must have equal rendered width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
+func TestRenderRaggedRowPadded(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("short row dropped:\n%s", out)
+	}
+}
+
+func TestRenderNotes(t *testing.T) {
+	tb := New("t", "a")
+	tb.AddNote("alpha=%g", 0.5)
+	out := tb.Render()
+	if !strings.Contains(out, "# alpha=0.5") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow(`say "hi"`, "x,y")
+	got := tb.CSV()
+	want := "a,b\n\"say \"\"hi\"\"\",\"x,y\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVPlain(t *testing.T) {
+	tb := New("t", "h1", "h2")
+	tb.AddRow("1", "2")
+	if got := tb.CSV(); got != "h1,h2\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1.234, "1.23"},
+		{99.999, "100.00"},
+		{456.78, "456.8"},
+		{123456, "123456"},
+		{math.NaN(), "-"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.v); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCellX(t *testing.T) {
+	if got := CellX(12.64); got != "12.6x" {
+		t.Fatalf("CellX = %q", got)
+	}
+}
+
+func TestCellInt(t *testing.T) {
+	if got := CellInt(64); got != "64" {
+		t.Fatalf("CellInt = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{}
+	if out := tb.Render(); out != "" {
+		t.Fatalf("empty table rendered %q", out)
+	}
+	if out := tb.CSV(); out != "" {
+		t.Fatalf("empty table CSV %q", out)
+	}
+}

@@ -1,0 +1,51 @@
+package model_test
+
+import (
+	"fmt"
+
+	"armbarrier/model"
+	"armbarrier/topology"
+)
+
+func ExampleOptimalFanIn() {
+	// Equation 2: the optimum of T(f) lies between e (α=0) and 3.591
+	// (α=1), which is why the paper fixes the fan-in to 4.
+	fmt.Printf("%.3f\n", model.OptimalFanIn(0))
+	fmt.Printf("%.3f\n", model.OptimalFanIn(1))
+	// Output:
+	// 2.718
+	// 3.591
+}
+
+func ExampleArrivalCost() {
+	// T(f) = ceil(log_f P) * ((1+alpha)L + (f-1)L) for P=64, L=10ns.
+	fmt.Println(model.ArrivalCost(64, 4, 10, 0.5))
+	// Output: 135
+}
+
+func ExampleNUMATreeChildren() {
+	// Equation 5 on a ThunderX2-like machine (N_c = 32): the root
+	// master wakes the other socket's master plus two local slaves.
+	fmt.Println(model.NUMATreeChildren(0, 64, 32))
+	fmt.Println(model.NUMATreeChildren(1, 64, 32))
+	// Output:
+	// [32 1 2]
+	// [3 4]
+}
+
+func ExamplePredictWakeup() {
+	fmt.Println(model.PredictWakeup(topology.ThunderX2(), 64))
+	fmt.Println(model.PredictWakeup(topology.Kunpeng920(), 64))
+	// Output:
+	// tree
+	// global
+}
+
+func ExampleFanInSchedule() {
+	// The paper's Figure 9 example: 9 threads balance best with f=3.
+	fmt.Println(model.FanInSchedule(9, 8))
+	fmt.Println(model.FixedFanInSchedule(64, 4))
+	// Output:
+	// [3 3]
+	// [4 4 4]
+}

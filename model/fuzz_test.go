@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+)
+
+// Fuzz targets guard the structural invariants of the synchronization
+// shapes. `go test` runs them over the seed corpus; `go test -fuzz`
+// explores further.
+
+func FuzzNUMATreeSpanning(f *testing.F) {
+	f.Add(1, 2)
+	f.Add(64, 4)
+	f.Add(64, 32)
+	f.Add(63, 4)
+	f.Add(17, 5)
+	f.Add(128, 3)
+	f.Fuzz(func(t *testing.T, p, nc int) {
+		if p < 1 || p > 512 || nc < 1 || nc > 256 {
+			t.Skip()
+		}
+		if _, err := TreeParents(p, func(n int) []int { return NUMATreeChildren(n, p, nc) }); err != nil {
+			t.Fatalf("P=%d Nc=%d: %v", p, nc, err)
+		}
+	})
+}
+
+func FuzzBinaryTreeSpanning(f *testing.F) {
+	f.Add(1)
+	f.Add(2)
+	f.Add(63)
+	f.Add(64)
+	f.Add(511)
+	f.Fuzz(func(t *testing.T, p int) {
+		if p < 1 || p > 2048 {
+			t.Skip()
+		}
+		if _, err := TreeParents(p, func(n int) []int { return BinaryTreeChildren(n, p) }); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	})
+}
+
+func FuzzFanInScheduleCoverage(f *testing.F) {
+	f.Add(2, 8)
+	f.Add(64, 8)
+	f.Add(97, 4)
+	f.Add(1000, 2)
+	f.Fuzz(func(t *testing.T, p, maxF int) {
+		if p < 2 || p > 4096 || maxF < 2 || maxF > 64 {
+			t.Skip()
+		}
+		sched := FanInSchedule(p, maxF)
+		n := p
+		for _, fr := range sched {
+			if fr < 2 || fr > maxF {
+				t.Fatalf("P=%d maxF=%d: fan-in %d out of range in %v", p, maxF, fr, sched)
+			}
+			n = (n + fr - 1) / fr
+		}
+		if n != 1 {
+			t.Fatalf("P=%d maxF=%d: schedule %v leaves %d survivors", p, maxF, sched, n)
+		}
+	})
+}
+
+func FuzzDisseminationPartnerSymmetry(f *testing.F) {
+	f.Add(5, 0, 8)
+	f.Add(63, 5, 64)
+	f.Fuzz(func(t *testing.T, i, j, p int) {
+		if p < 1 || p > 1024 || i < 0 || i >= p || j < 0 || j > 11 {
+			t.Skip()
+		}
+		partner := DisseminationPartner(i, j, p)
+		if partner < 0 || partner >= p {
+			t.Fatalf("partner(%d,%d,%d) = %d out of range", i, j, p, partner)
+		}
+		// The inverse relation: I am the round-j partner of the thread
+		// 2^j behind me.
+		behind := ((i-pow(2, j))%p + p) % p
+		if DisseminationPartner(behind, j, p) != i {
+			t.Fatalf("partner relation not invertible for i=%d j=%d p=%d", i, j, p)
+		}
+	})
+}
+
+func FuzzOptimalFanInRange(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.5)
+	f.Add(1.0)
+	f.Fuzz(func(t *testing.T, alpha float64) {
+		if alpha < 0 || alpha > 1 || alpha != alpha {
+			t.Skip()
+		}
+		got := OptimalFanIn(alpha)
+		if got < 2.718 || got > 3.5912 {
+			t.Fatalf("OptimalFanIn(%g) = %g outside the paper's [e, 3.591]", alpha, got)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package model implements the paper's analytical cost model for
+// barrier synchronization (Sections III-B and V): the four memory
+// operation classes R_L, R_R, W_L, W_R with their write-invalidate RFO
+// term, the Arrival-Phase cost T(f) of a static f-way tournament
+// (Equation 1) together with the optimal fan-in derived from its
+// derivative (Equation 2), and the Notification-Phase costs of the
+// global wake-up (Equation 3) and binary-tree wake-up (Equation 4).
+//
+// The model is the *prediction* side of the reproduction; package sim
+// is the *measurement* side. Tests cross-check the two.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"armbarrier/topology"
+)
+
+// LocalReadCost returns O_{R_L} = ε: loading a data copy already in the
+// local cache.
+func LocalReadCost(m *topology.Machine) float64 {
+	return m.Epsilon
+}
+
+// RemoteReadCost returns O_{R_R} = L_i: loading a data copy from a
+// remote cache across communication layer ly.
+func RemoteReadCost(m *topology.Machine, ly topology.Layer) float64 {
+	return m.LayerLatency(ly)
+}
+
+// LocalWriteCost returns O_{W_L} = n·α·L_i: writing a line that is
+// already owned locally but has n shared copies in other cores'
+// caches, each of which must receive a read-for-ownership invalidation
+// across layer ly. With no sharers the store is a plain local access ε.
+func LocalWriteCost(m *topology.Machine, ly topology.Layer, nSharers int) float64 {
+	if nSharers <= 0 {
+		return m.Epsilon
+	}
+	return float64(nSharers) * m.Alpha * m.LayerLatency(ly)
+}
+
+// RemoteWriteCost returns O_{W_R} = (1 + n·α)·L_i: fetching the line
+// from a remote owner and invalidating its n shared copies.
+func RemoteWriteCost(m *topology.Machine, ly topology.Layer, nSharers int) float64 {
+	return (1 + float64(nSharers)*m.Alpha) * m.LayerLatency(ly)
+}
+
+// ArrivalLevels returns ceil(log_f(P)), the number of synchronization
+// rounds of an f-way arrival tree over P threads.
+func ArrivalLevels(P, f int) int {
+	if P <= 1 {
+		return 0
+	}
+	if f < 2 {
+		panic(fmt.Sprintf("model: ArrivalLevels fan-in %d < 2", f))
+	}
+	levels := 0
+	for n := P; n > 1; n = (n + f - 1) / f {
+		levels++
+	}
+	return levels
+}
+
+// ArrivalCost evaluates Equation 1,
+//
+//	T(f) = ceil(log_f P) · ((1+α)·L + (f-1)·L),
+//
+// the best-case Arrival-Phase cost of a static f-way tournament with
+// cacheline-padded flags: per level one remote write W_R = (1+α)L by
+// the last child plus f-1 remote flag reads by the winner. L is the
+// latency of the layer the level's communication crosses.
+func ArrivalCost(P, f int, L, alpha float64) float64 {
+	if P <= 1 {
+		return 0
+	}
+	levels := float64(ArrivalLevels(P, f))
+	return levels * ((1+alpha)*L + float64(f-1)*L)
+}
+
+// ArrivalCostContinuous is T(f) with a real-valued fan-in and exact
+// (non-ceiled) level count, used for derivative analysis.
+func ArrivalCostContinuous(P int, f, L, alpha float64) float64 {
+	if P <= 1 || f <= 1 {
+		return math.Inf(1)
+	}
+	levels := math.Log(float64(P)) / math.Log(f)
+	return levels * ((1 + alpha) + (f - 1)) * L
+}
+
+// OptimalFanIn solves T'(f) = 0, i.e. (ln f − 1)·f = α (Equation 2),
+// by bisection. Because (ln f − 1)·f is monotonically increasing for
+// f ≥ 1 and 0 ≤ α ≤ 1, the root lies in [e, 3.591] as the paper notes.
+func OptimalFanIn(alpha float64) float64 {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("model: OptimalFanIn alpha %g outside [0,1]", alpha))
+	}
+	g := func(f float64) float64 { return (math.Log(f) - 1) * f }
+	lo, hi := math.E, 3.6
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RecommendedFanIn returns the integer fan-in the paper selects: the
+// optimum of Equation 2 lands in [2.718, 3.591], i.e. f = 3 or f = 4,
+// and because the cluster size N_c is a power of two on all three
+// machines, the paper fixes f = 4.
+func RecommendedFanIn(m *topology.Machine) int {
+	f := OptimalFanIn(m.Alpha)
+	// Round to the nearest power of two ≥ 2 that brackets the optimum.
+	if f <= 2 {
+		return 2
+	}
+	// The optimum is in (2, 4]; prefer 4 when N_c is a multiple of 4
+	// (it is on all studied machines), else fall back to 2.
+	if m.ClusterSize%4 == 0 {
+		return 4
+	}
+	return 2
+}
+
+// GlobalWakeupCost evaluates Equation 3,
+//
+//	T_global = ((P−1)·α + 1)·L + c·(P−1):
+//
+// the root's store must invalidate the P−1 cached copies of the global
+// sense, one remote read brings it back, and each additional concurrent
+// reader pays the contention coefficient c.
+func GlobalWakeupCost(P int, L, alpha, c float64) float64 {
+	if P <= 1 {
+		return 0
+	}
+	return (float64(P-1)*alpha+1)*L + c*float64(P-1)
+}
+
+// TreeWakeupCost evaluates Equation 4,
+//
+//	T_tree = ceil(log2(P+1)) · (α+1) · L:
+//
+// each binary-tree level performs a W_L (one-copy invalidation, α·L)
+// and a remote read L; the two children proceed concurrently.
+func TreeWakeupCost(P int, L, alpha float64) float64 {
+	if P <= 1 {
+		return 0
+	}
+	levels := math.Ceil(math.Log2(float64(P + 1)))
+	return levels * (alpha + 1) * L
+}
+
+// WakeupCrossover returns the smallest thread count P in [2, maxP] at
+// which the binary-tree wake-up becomes strictly cheaper than the
+// global wake-up under Equations 3 and 4, or 0 if it never does. The
+// paper observes the two curves "meet" below 8–16 threads on the three
+// machines.
+func WakeupCrossover(m *topology.Machine, ly topology.Layer, maxP int) int {
+	L := m.LayerLatency(ly)
+	for P := 2; P <= maxP; P++ {
+		if TreeWakeupCost(P, L, m.Alpha) < GlobalWakeupCost(P, L, m.Alpha, m.ReadContention) {
+			return P
+		}
+	}
+	return 0
+}
+
+// PredictBarrierNs combines the closed-form pieces into a full-barrier
+// estimate for the paper's optimized design at P threads: the Eq. 1
+// arrival cost with the recommended fan-in plus the cheaper of the
+// Eq. 3 / Eq. 4 wake-ups, all at a representative cross-cluster
+// latency. It predicts scaling trends and strategy choices, not exact
+// nanoseconds — the simulator exists for those.
+func PredictBarrierNs(m *topology.Machine, P int) float64 {
+	if P <= 1 {
+		return 0
+	}
+	ly := topology.Layer(len(m.Latency) - 1)
+	L := m.LayerLatency(ly)
+	arrival := ArrivalCost(P, RecommendedFanIn(m), L, m.Alpha)
+	tg := GlobalWakeupCost(P, L, m.Alpha, m.ReadContention)
+	tt := TreeWakeupCost(P, L, m.Alpha)
+	if tt < tg {
+		return arrival + tt
+	}
+	return arrival + tg
+}
+
+// PredictWakeup returns the wake-up strategy Equations 3 and 4 prefer
+// for P threads on machine m, using the machine's worst remote layer
+// (the conservative choice the paper's discussion implies).
+func PredictWakeup(m *topology.Machine, P int) string {
+	ly := topology.Layer(len(m.Latency) - 1)
+	L := m.LayerLatency(ly)
+	tg := GlobalWakeupCost(P, L, m.Alpha, m.ReadContention)
+	tt := TreeWakeupCost(P, L, m.Alpha)
+	if tg <= tt {
+		return "global"
+	}
+	return "tree"
+}

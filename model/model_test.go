@@ -1,0 +1,196 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestLocalReadCost(t *testing.T) {
+	m := topology.Phytium2000()
+	if got := LocalReadCost(m); got != 1.8 {
+		t.Fatalf("LocalReadCost = %g, want eps=1.8", got)
+	}
+}
+
+func TestRemoteReadCost(t *testing.T) {
+	m := topology.ThunderX2()
+	if got := RemoteReadCost(m, 1); got != 140.7 {
+		t.Fatalf("RemoteReadCost(L1) = %g, want 140.7", got)
+	}
+	if got := RemoteReadCost(m, topology.LayerLocal); got != m.Epsilon {
+		t.Fatalf("RemoteReadCost(local) = %g, want eps", got)
+	}
+}
+
+func TestWriteCosts(t *testing.T) {
+	m := topology.ThunderX2() // L0 = 24
+	if got := LocalWriteCost(m, 0, 0); got != m.Epsilon {
+		t.Errorf("LocalWriteCost with no sharers = %g, want eps", got)
+	}
+	// O_WL = n*alpha*L with n=2 sharers.
+	if want := 2 * m.Alpha * 24; math.Abs(LocalWriteCost(m, 0, 2)-want) > 1e-9 {
+		t.Errorf("LocalWriteCost(n=2) = %g, want %g", LocalWriteCost(m, 0, 2), want)
+	}
+	// O_WR = (1 + n*alpha)*L with n=1.
+	if want := (1 + m.Alpha) * 24; math.Abs(RemoteWriteCost(m, 0, 1)-want) > 1e-9 {
+		t.Errorf("RemoteWriteCost(n=1) = %g, want %g", RemoteWriteCost(m, 0, 1), want)
+	}
+	// Remote, n=0: plain L.
+	if got := RemoteWriteCost(m, 0, 0); got != 24 {
+		t.Errorf("RemoteWriteCost(n=0) = %g, want 24", got)
+	}
+}
+
+func TestArrivalLevels(t *testing.T) {
+	cases := []struct{ P, f, want int }{
+		{1, 4, 0},
+		{2, 2, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{16, 4, 2},
+		{17, 4, 3},
+		{64, 4, 3},
+		{64, 2, 6},
+		{64, 8, 2},
+		{20, 4, 3}, // 20 -> 5 -> 2 -> 1
+	}
+	for _, c := range cases {
+		if got := ArrivalLevels(c.P, c.f); got != c.want {
+			t.Errorf("ArrivalLevels(%d,%d) = %d, want %d", c.P, c.f, got, c.want)
+		}
+	}
+}
+
+func TestArrivalCostEquation1(t *testing.T) {
+	// T(f) = ceil(log_f P) ((1+alpha)L + (f-1)L).
+	// P=64, f=4, L=10, alpha=0.5: 3 * (15 + 30) = 135.
+	if got := ArrivalCost(64, 4, 10, 0.5); math.Abs(got-135) > 1e-9 {
+		t.Fatalf("ArrivalCost = %g, want 135", got)
+	}
+	if got := ArrivalCost(1, 4, 10, 0.5); got != 0 {
+		t.Fatalf("ArrivalCost(P=1) = %g, want 0", got)
+	}
+}
+
+func TestArrivalCostPrefersFourOverTwoAndSixteen(t *testing.T) {
+	// With alpha in [0,1], f=4 should beat f=2 and f=16 for P=64 per
+	// the paper's Figure 13 conclusion.
+	for _, alpha := range []float64{0.3, 0.5, 0.7, 1.0} {
+		c2 := ArrivalCost(64, 2, 10, alpha)
+		c4 := ArrivalCost(64, 4, 10, alpha)
+		c16 := ArrivalCost(64, 16, 10, alpha)
+		if c4 >= c2 || c4 >= c16 {
+			t.Errorf("alpha=%g: T(2)=%g T(4)=%g T(16)=%g, want T(4) smallest", alpha, c2, c4, c16)
+		}
+	}
+}
+
+func TestOptimalFanInBounds(t *testing.T) {
+	// Equation 2: root of (ln f - 1) f = alpha lies in [e, 3.591].
+	lo := OptimalFanIn(0)
+	hi := OptimalFanIn(1)
+	if math.Abs(lo-math.E) > 1e-6 {
+		t.Errorf("OptimalFanIn(0) = %g, want e", lo)
+	}
+	if math.Abs(hi-3.591) > 2e-3 {
+		t.Errorf("OptimalFanIn(1) = %g, want about 3.591 (paper)", hi)
+	}
+	mid := OptimalFanIn(0.5)
+	if mid <= lo || mid >= hi {
+		t.Errorf("OptimalFanIn(0.5) = %g, not between %g and %g", mid, lo, hi)
+	}
+}
+
+func TestOptimalFanInSolvesEquation(t *testing.T) {
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		f := OptimalFanIn(alpha)
+		if g := (math.Log(f) - 1) * f; math.Abs(g-alpha) > 1e-6 {
+			t.Errorf("alpha=%g: (ln f - 1) f = %g at f=%g", alpha, g, f)
+		}
+	}
+}
+
+func TestOptimalFanInPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for alpha > 1")
+		}
+	}()
+	OptimalFanIn(2)
+}
+
+func TestRecommendedFanIn(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		if got := RecommendedFanIn(m); got != 4 {
+			t.Errorf("%s: RecommendedFanIn = %d, want 4 (paper Section V-B2)", m.Name, got)
+		}
+	}
+}
+
+func TestGlobalWakeupCostEquation3(t *testing.T) {
+	// ((P-1) alpha + 1) L + c (P-1); P=5, L=10, alpha=0.5, c=2:
+	// (4*0.5+1)*10 + 2*4 = 30 + 8 = 38.
+	if got := GlobalWakeupCost(5, 10, 0.5, 2); math.Abs(got-38) > 1e-9 {
+		t.Fatalf("GlobalWakeupCost = %g, want 38", got)
+	}
+	if got := GlobalWakeupCost(1, 10, 0.5, 2); got != 0 {
+		t.Fatalf("GlobalWakeupCost(P=1) = %g, want 0", got)
+	}
+}
+
+func TestTreeWakeupCostEquation4(t *testing.T) {
+	// ceil(log2(P+1)) (alpha+1) L; P=7, L=10, alpha=0.5: 3 * 15 = 45.
+	if got := TreeWakeupCost(7, 10, 0.5); math.Abs(got-45) > 1e-9 {
+		t.Fatalf("TreeWakeupCost = %g, want 45", got)
+	}
+	if got := TreeWakeupCost(1, 10, 0.5); got != 0 {
+		t.Fatalf("TreeWakeupCost(P=1) = %g, want 0", got)
+	}
+}
+
+func TestWakeupScalingShapes(t *testing.T) {
+	// Global wake-up grows linearly in P, tree wake-up logarithmically,
+	// so for large P with nonzero contention the tree must win.
+	L, alpha, c := 24.0, 0.7, 4.0
+	if GlobalWakeupCost(64, L, alpha, c) <= TreeWakeupCost(64, L, alpha) {
+		t.Fatal("tree wake-up should beat global at P=64 with contention")
+	}
+	// And for tiny P they are close (the curves "meet" in Figure 12):
+	// within a couple of per-level costs.
+	g2, t2 := GlobalWakeupCost(2, L, alpha, c), TreeWakeupCost(2, L, alpha)
+	if math.Abs(g2-t2) > 2*(1+alpha)*L {
+		t.Fatalf("P=2: global %g vs tree %g diverge too much", g2, t2)
+	}
+}
+
+func TestWakeupCrossoverPerMachine(t *testing.T) {
+	// The paper: global and tree meet below 16 threads on Phytium,
+	// 8 on ThunderX2, 16 on Kunpeng920; on Kunpeng920 contention is so
+	// low that global stays preferable (crossover late or absent).
+	phy := WakeupCrossover(topology.Phytium2000(), 1, 64)
+	if phy == 0 || phy > 32 {
+		t.Errorf("phytium crossover = %d, want early crossover", phy)
+	}
+	tx2 := WakeupCrossover(topology.ThunderX2(), 1, 64)
+	if tx2 == 0 || tx2 > 32 {
+		t.Errorf("tx2 crossover = %d, want early crossover", tx2)
+	}
+	kp := WakeupCrossover(topology.Kunpeng920(), 2, 64)
+	if kp != 0 && kp < 32 {
+		t.Errorf("kp920 crossover = %d, want late or none (global wins there)", kp)
+	}
+}
+
+func TestPredictWakeup(t *testing.T) {
+	if got := PredictWakeup(topology.ThunderX2(), 64); got != "tree" {
+		t.Errorf("tx2 predicted %q, want tree", got)
+	}
+	if got := PredictWakeup(topology.Kunpeng920(), 64); got != "global" {
+		t.Errorf("kp920 predicted %q, want global", got)
+	}
+	if got := PredictWakeup(topology.Phytium2000(), 64); got != "tree" {
+		t.Errorf("phytium predicted %q, want tree", got)
+	}
+}

@@ -1,0 +1,55 @@
+package model_test
+
+import (
+	"testing"
+
+	"armbarrier/model"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+func TestPredictBarrierNsMonotone(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		prev := 0.0
+		for _, p := range []int{2, 4, 8, 16, 32, 64} {
+			got := model.PredictBarrierNs(m, p)
+			if got <= prev {
+				t.Errorf("%s: prediction not increasing at P=%d (%g -> %g)", m.Name, p, prev, got)
+			}
+			prev = got
+		}
+	}
+	if model.PredictBarrierNs(topology.ThunderX2(), 1) != 0 {
+		t.Error("P=1 prediction should be 0")
+	}
+}
+
+func TestPredictBarrierNsTracksSimulator(t *testing.T) {
+	// The closed-form estimate must land within a factor of 5 of the
+	// simulated optimized barrier at 64 threads — the model's job is
+	// trends and choices, not exact values (it conservatively charges
+	// every level the worst cross-cluster latency, which the simulated
+	// cluster-major tree mostly avoids).
+	for _, m := range topology.ARMMachines() {
+		pred := model.PredictBarrierNs(m, 64)
+		sim := algo.MustMeasure(m, 64, algo.Optimized, algo.MeasureOptions{Episodes: 8})
+		ratio := pred / sim
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("%s: prediction %.0fns vs simulated %.0fns (ratio %.2f)", m.Name, pred, sim, ratio)
+		}
+	}
+}
+
+func TestLatencyMatrixShape(t *testing.T) {
+	m := topology.Kunpeng920()
+	mat := m.LatencyMatrix()
+	if len(mat) != m.Cores || len(mat[0]) != m.Cores {
+		t.Fatalf("matrix is %dx%d", len(mat), len(mat[0]))
+	}
+	if mat[3][3] != m.Epsilon {
+		t.Errorf("diagonal = %g, want eps", mat[3][3])
+	}
+	if mat[0][63] != 75 || mat[63][0] != 75 {
+		t.Errorf("cross-SCCL entries wrong: %g / %g", mat[0][63], mat[63][0])
+	}
+}

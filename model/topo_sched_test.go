@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestTopologySchedulePhytium(t *testing.T) {
+	m := topology.Phytium2000()
+	sched := TopologySchedule(m, 64)
+	// N_c = 4: first round 4, then 16 -> 4 -> 1 with fan-in 4.
+	if len(sched) != 3 || sched[0] != 4 || sched[1] != 4 || sched[2] != 4 {
+		t.Fatalf("phytium schedule = %v, want [4 4 4]", sched)
+	}
+}
+
+func TestTopologyScheduleThunderX2(t *testing.T) {
+	m := topology.ThunderX2()
+	sched := TopologySchedule(m, 64)
+	// N_c = 32: one 32-wide round, then the two socket winners.
+	if len(sched) != 2 || sched[0] != 32 || sched[1] != 2 {
+		t.Fatalf("tx2 schedule = %v, want [32 2]", sched)
+	}
+}
+
+func TestTopologyScheduleCoversP(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		for P := 2; P <= m.Cores; P++ {
+			sched := TopologySchedule(m, P)
+			n := P
+			for _, f := range sched {
+				if f < 2 {
+					t.Fatalf("%s P=%d: fan-in %d in %v", m.Name, P, f, sched)
+				}
+				n = (n + f - 1) / f
+			}
+			if n != 1 {
+				t.Fatalf("%s P=%d: schedule %v leaves %d", m.Name, P, sched, n)
+			}
+		}
+	}
+}
+
+func TestTopologyScheduleTrivial(t *testing.T) {
+	m := topology.Kunpeng920()
+	if got := TopologySchedule(m, 1); got != nil {
+		t.Fatalf("P=1 schedule = %v", got)
+	}
+	if got := TopologySchedule(m, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("P=2 schedule = %v", got)
+	}
+}
+
+func TestArrivalCostContinuous(t *testing.T) {
+	// Continuous cost at integer points is close to the ceiled version
+	// when log_f P is integral: P=64, f=4 -> levels exactly 3.
+	cont := ArrivalCostContinuous(64, 4, 10, 0.5)
+	disc := ArrivalCost(64, 4, 10, 0.5)
+	if math.Abs(cont-disc) > 1e-9 {
+		t.Fatalf("continuous %g vs discrete %g at integral levels", cont, disc)
+	}
+	if !math.IsInf(ArrivalCostContinuous(1, 4, 10, 0.5), 1) {
+		t.Fatal("P=1 should be +Inf (no tree)")
+	}
+	if !math.IsInf(ArrivalCostContinuous(64, 1, 10, 0.5), 1) {
+		t.Fatal("f<=1 should be +Inf")
+	}
+	// The continuous optimum near f=3-4 must beat f=16 for alpha=0.5.
+	if ArrivalCostContinuous(64, 3.3, 10, 0.5) >= ArrivalCostContinuous(64, 16, 10, 0.5) {
+		t.Fatal("continuous cost not minimized near the analytic optimum")
+	}
+}
+
+func TestRecommendedFanInNonPowerOfTwoCluster(t *testing.T) {
+	// A machine with N_c not divisible by 4 falls back to fan-in 2.
+	m, err := topology.NewHierarchical(topology.HierarchicalSpec{
+		Name:         "odd",
+		Levels:       []int{6, 4},
+		Epsilon:      1,
+		LevelLatency: []float64{10, 50},
+		Alpha:        0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RecommendedFanIn(m); got != 2 {
+		t.Fatalf("RecommendedFanIn(Nc=6) = %d, want 2", got)
+	}
+}
+
+func TestArrivalLevelsPanicsOnBadFanIn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for fan-in 1")
+		}
+	}()
+	ArrivalLevels(8, 1)
+}
+
+func TestFanInSchedulePanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for maxFanIn 1")
+		}
+	}()
+	FanInSchedule(8, 1)
+}
+
+func TestFixedFanInSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for f=1")
+		}
+	}()
+	FixedFanInSchedule(8, 1)
+}
+
+func TestNUMATreeChildrenPanicsOnBadNc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Nc=0")
+		}
+	}()
+	NUMATreeChildren(0, 8, 0)
+}
+
+func TestNUMATreeChildrenOutOfRange(t *testing.T) {
+	if got := NUMATreeChildren(-1, 8, 4); got != nil {
+		t.Fatalf("children(-1) = %v", got)
+	}
+	if got := NUMATreeChildren(9, 8, 4); got != nil {
+		t.Fatalf("children(9) = %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package model
+
+import (
+	"fmt"
+
+	"armbarrier/topology"
+)
+
+// This file holds the synchronization-tree shapes shared by the real
+// barriers (package barrier) and the simulated ones (package sim/algo):
+// the binary wake-up tree, the paper's NUMA-aware wake-up tree
+// (Equation 5), the static f-way tournament grouping, and the
+// dissemination partner schedule.
+
+// BinaryTreeChildren returns the wake-up children of node n in the
+// classic binary tree over P nodes: 2n+1 and 2n+2 when they exist.
+func BinaryTreeChildren(n, P int) []int {
+	var kids []int
+	if c := 2*n + 1; c < P {
+		kids = append(kids, c)
+	}
+	if c := 2*n + 2; c < P {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// NUMATreeChildren returns the wake-up children of node n in the
+// paper's NUMA-aware tree (Equation 5) over P nodes with cluster size
+// Nc. Nodes divisible by Nc are *masters* (the first thread of each
+// cluster); a master wakes up to two other masters (2n+Nc, 2n+2Nc,
+// doubling over cluster indices) plus its two cluster-local slaves
+// (n+1, n+2). A slave node wakes the binary-tree children within its
+// own cluster.
+func NUMATreeChildren(n, P, Nc int) []int {
+	if Nc <= 0 {
+		panic(fmt.Sprintf("model: NUMATreeChildren Nc = %d", Nc))
+	}
+	if n < 0 || n >= P {
+		return nil
+	}
+	var kids []int
+	if n%Nc == 0 {
+		// Master: two master children, doubling across clusters.
+		if c := 2*n + Nc; c < P {
+			kids = append(kids, c)
+		}
+		if c := 2*n + 2*Nc; c < P {
+			kids = append(kids, c)
+		}
+		// Plus the first two slaves of its own cluster (local binary
+		// tree root position, local index 0 -> locals 1 and 2).
+		for _, lc := range []int{1, 2} {
+			if lc < Nc {
+				if c := n + lc; c < P {
+					kids = append(kids, c)
+				}
+			}
+		}
+		return kids
+	}
+	// Slave: binary tree over local indices within the cluster.
+	base := n - n%Nc
+	local := n % Nc
+	for _, lc := range []int{2*local + 1, 2*local + 2} {
+		if lc < Nc {
+			if c := base + lc; c < P {
+				kids = append(kids, c)
+			}
+		}
+	}
+	return kids
+}
+
+// TreeParents inverts a children function into a parent array (-1 for
+// the root). It reports an error if any node has more than one parent
+// or node 0 is not the unique root — the invariants a wake-up tree
+// needs to wake every thread exactly once.
+func TreeParents(P int, children func(n int) []int) ([]int, error) {
+	parent := make([]int, P)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for n := 0; n < P; n++ {
+		for _, c := range children(n) {
+			if c < 0 || c >= P {
+				return nil, fmt.Errorf("model: node %d has out-of-range child %d (P=%d)", n, c, P)
+			}
+			if c == n {
+				return nil, fmt.Errorf("model: node %d is its own child", n)
+			}
+			if parent[c] != -1 {
+				return nil, fmt.Errorf("model: node %d has two parents (%d and %d)", c, parent[c], n)
+			}
+			parent[c] = n
+		}
+	}
+	for n := 1; n < P; n++ {
+		if parent[n] == -1 {
+			return nil, fmt.Errorf("model: node %d unreachable (no parent)", n)
+		}
+	}
+	if parent[0] != -1 {
+		return nil, fmt.Errorf("model: node 0 has parent %d, want root", parent[0])
+	}
+	return parent, nil
+}
+
+// TreeDepth returns the depth of the tree described by a children
+// function (root depth 0; empty tree -1 when P == 0).
+func TreeDepth(P int, children func(n int) []int) int {
+	if P == 0 {
+		return -1
+	}
+	depth := make([]int, P)
+	max := 0
+	// Children always have larger indices in both tree shapes used
+	// here, so one forward pass suffices; verify as we go.
+	for n := 0; n < P; n++ {
+		for _, c := range children(n) {
+			if c <= n {
+				panic(fmt.Sprintf("model: TreeDepth requires child > parent, got %d -> %d", n, c))
+			}
+			if d := depth[n] + 1; d > depth[c] {
+				depth[c] = d
+			}
+			if depth[c] > max {
+				max = depth[c]
+			}
+		}
+	}
+	return max
+}
+
+// FanInSchedule returns the per-round fan-ins of the original static
+// f-way tournament over P threads: the paper describes fan-ins chosen
+// per level "to keep the synchronization tree as balanced as possible",
+// bounded by the flags that fit one 32-bit word (maxFanIn, classically
+// 8). The product of the returned fan-ins covers P.
+func FanInSchedule(P, maxFanIn int) []int {
+	if P <= 1 {
+		return nil
+	}
+	if maxFanIn < 2 {
+		panic(fmt.Sprintf("model: FanInSchedule maxFanIn %d < 2", maxFanIn))
+	}
+	rounds := ArrivalLevels(P, maxFanIn)
+	// Balanced target: the integer f with f^rounds >= P, as small as
+	// possible, then shrink the last rounds when they would overshoot.
+	f := 2
+	for pow(f, rounds) < P {
+		f++
+	}
+	sched := make([]int, 0, rounds)
+	remaining := P
+	for r := 0; r < rounds; r++ {
+		fr := f
+		if fr > remaining {
+			fr = remaining
+		}
+		if fr < 2 {
+			fr = 2
+		}
+		sched = append(sched, fr)
+		remaining = (remaining + fr - 1) / fr
+	}
+	return sched
+}
+
+// FixedFanInSchedule returns the per-round fan-ins for a fixed fan-in
+// tournament (the paper's recommended configuration with f = 4).
+func FixedFanInSchedule(P, f int) []int {
+	if P <= 1 {
+		return nil
+	}
+	if f < 2 {
+		panic(fmt.Sprintf("model: FixedFanInSchedule f %d < 2", f))
+	}
+	var sched []int
+	for n := P; n > 1; n = (n + f - 1) / f {
+		sched = append(sched, f)
+	}
+	return sched
+}
+
+// ScheduleLevels computes the number of participants entering each
+// round of a fan-in schedule, starting from P.
+func ScheduleLevels(P int, sched []int) []int {
+	levels := make([]int, 0, len(sched)+1)
+	n := P
+	for _, f := range sched {
+		levels = append(levels, n)
+		n = (n + f - 1) / f
+	}
+	levels = append(levels, n)
+	return levels
+}
+
+// TopologySchedule derives an arrival fan-in schedule directly from a
+// machine's sharing hierarchy: the first round groups whole clusters
+// (fan-in N_c), and subsequent rounds combine survivors along the
+// remaining levels — one representative per cluster, then per
+// higher-level block, matching the paper's goal of "mapping the
+// synchronization threads within the same core cluster during each
+// synchronization round". P is the thread count under compact
+// pinning.
+func TopologySchedule(m *topology.Machine, P int) []int {
+	if P <= 1 {
+		return nil
+	}
+	var sched []int
+	remaining := P
+	// Round 0: the cluster itself.
+	f := m.ClusterSize
+	if f > remaining {
+		f = remaining
+	}
+	if f >= 2 {
+		sched = append(sched, f)
+		remaining = (remaining + f - 1) / f
+	}
+	// Later rounds: combine cluster representatives 4 at a time (the
+	// Eq. 2 optimum), or all at once when few remain.
+	for remaining > 1 {
+		f = 4
+		if remaining <= 4 {
+			f = remaining
+		}
+		if f < 2 {
+			f = 2
+		}
+		sched = append(sched, f)
+		remaining = (remaining + f - 1) / f
+	}
+	return sched
+}
+
+// DisseminationRounds returns ceil(log2 P), the number of rounds of
+// pairwise signalling the dissemination barrier needs.
+func DisseminationRounds(P int) int {
+	if P <= 1 {
+		return 0
+	}
+	r := 0
+	for n := 1; n < P; n *= 2 {
+		r++
+	}
+	return r
+}
+
+// DisseminationPartner returns the thread that thread i signals in
+// round j of the dissemination barrier: (i + 2^j) mod P.
+func DisseminationPartner(i, j, P int) int {
+	return (i + pow(2, j)) % P
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+		if r < 0 || r > 1<<40 {
+			return 1 << 40 // saturate; callers only compare against P
+		}
+	}
+	return r
+}

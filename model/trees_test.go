@@ -1,0 +1,307 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"armbarrier/topology"
+)
+
+func TestBinaryTreeChildren(t *testing.T) {
+	if got := BinaryTreeChildren(0, 7); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("children(0) = %v", got)
+	}
+	if got := BinaryTreeChildren(2, 6); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("children(2) of 6 = %v", got)
+	}
+	if got := BinaryTreeChildren(3, 7); got != nil {
+		t.Fatalf("leaf children = %v, want nil", got)
+	}
+}
+
+func TestBinaryTreeIsSpanningTree(t *testing.T) {
+	for P := 1; P <= 80; P++ {
+		if _, err := TreeParents(P, func(n int) []int { return BinaryTreeChildren(n, P) }); err != nil {
+			t.Fatalf("P=%d: %v", P, err)
+		}
+	}
+}
+
+func TestNUMATreeIsSpanningTree(t *testing.T) {
+	for _, Nc := range []int{2, 4, 8, 32} {
+		for P := 1; P <= 80; P++ {
+			if _, err := TreeParents(P, func(n int) []int { return NUMATreeChildren(n, P, Nc) }); err != nil {
+				t.Fatalf("Nc=%d P=%d: %v", Nc, P, err)
+			}
+		}
+	}
+}
+
+func TestNUMATreeMasterDegree(t *testing.T) {
+	// Masters have at most 4 children (2 masters + 2 slaves), slaves at
+	// most 2 — the structure of Figure 10(b).
+	P, Nc := 64, 4
+	for n := 0; n < P; n++ {
+		kids := NUMATreeChildren(n, P, Nc)
+		limit := 2
+		if n%Nc == 0 {
+			limit = 4
+		}
+		if len(kids) > limit {
+			t.Fatalf("node %d has %d children %v, limit %d", n, len(kids), kids, limit)
+		}
+	}
+	// The root of a full 64/4 machine has exactly 4.
+	if kids := NUMATreeChildren(0, 64, 4); len(kids) != 4 {
+		t.Fatalf("root children = %v, want 4 of them", kids)
+	}
+}
+
+func TestNUMATreeEqualsBinaryWithinOneCluster(t *testing.T) {
+	// "When the number of threads is less than the number of cores in a
+	// core cluster, the NUMA-aware tree is equivalent to the binary tree."
+	Nc := 32
+	for P := 1; P <= Nc; P++ {
+		for n := 0; n < P; n++ {
+			a := NUMATreeChildren(n, P, Nc)
+			b := BinaryTreeChildren(n, P)
+			if len(a) != len(b) {
+				t.Fatalf("P=%d node %d: numa %v vs binary %v", P, n, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("P=%d node %d: numa %v vs binary %v", P, n, a, b)
+				}
+			}
+		}
+	}
+}
+
+func countRemoteEdges(t *testing.T, m *topology.Machine, P int, children func(n int) []int) int {
+	t.Helper()
+	remote := 0
+	for n := 0; n < P; n++ {
+		for _, c := range children(n) {
+			if !m.SameCluster(n, c) { // thread i pinned to core i
+				remote++
+			}
+		}
+	}
+	return remote
+}
+
+func TestNUMATreeReducesRemoteEdgesThunderX2(t *testing.T) {
+	// Figure 10: on ThunderX2 the binary tree's cross-socket edges are
+	// about half of all edges; the NUMA-aware tree needs exactly one.
+	m := topology.ThunderX2()
+	P := 64
+	bin := countRemoteEdges(t, m, P, func(n int) []int { return BinaryTreeChildren(n, P) })
+	numa := countRemoteEdges(t, m, P, func(n int) []int { return NUMATreeChildren(n, P, m.ClusterSize) })
+	if bin < 20 {
+		t.Fatalf("binary tree cross-socket edges = %d, expected many", bin)
+	}
+	if numa != 1 {
+		t.Fatalf("NUMA tree cross-socket edges = %d, want 1", numa)
+	}
+}
+
+func TestNUMATreeReducesRemoteEdgesEverywhere(t *testing.T) {
+	for _, m := range topology.ARMMachines() {
+		for _, P := range []int{8, 16, 24, 32, 48, 64} {
+			bin := countRemoteEdges(t, m, P, func(n int) []int { return BinaryTreeChildren(n, P) })
+			numa := countRemoteEdges(t, m, P, func(n int) []int { return NUMATreeChildren(n, P, m.ClusterSize) })
+			if numa > bin {
+				t.Errorf("%s P=%d: NUMA tree has %d remote edges, binary %d", m.Name, P, numa, bin)
+			}
+		}
+	}
+}
+
+func TestNUMATreeDepthComparable(t *testing.T) {
+	// The paper changes the structure "while keeping the number of
+	// levels of the tree unchanged"; allow +1 slack for partial clusters.
+	for _, Nc := range []int{4, 32} {
+		for _, P := range []int{16, 32, 64} {
+			bd := TreeDepth(P, func(n int) []int { return BinaryTreeChildren(n, P) })
+			nd := TreeDepth(P, func(n int) []int { return NUMATreeChildren(n, P, Nc) })
+			if nd > bd+1 {
+				t.Errorf("Nc=%d P=%d: NUMA depth %d vs binary depth %d", Nc, P, nd, bd)
+			}
+		}
+	}
+}
+
+func TestTreeParentsDetectsBrokenTrees(t *testing.T) {
+	// Two parents.
+	_, err := TreeParents(3, func(n int) []int {
+		if n == 0 {
+			return []int{1, 2}
+		}
+		if n == 1 {
+			return []int{2}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("TreeParents accepted a node with two parents")
+	}
+	// Unreachable node.
+	_, err = TreeParents(3, func(n int) []int {
+		if n == 0 {
+			return []int{1}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("TreeParents accepted an unreachable node")
+	}
+	// Self child.
+	_, err = TreeParents(2, func(n int) []int {
+		if n == 1 {
+			return []int{1}
+		}
+		return []int{1}
+	})
+	if err == nil {
+		t.Error("TreeParents accepted a self-loop")
+	}
+	// Out of range child.
+	_, err = TreeParents(2, func(n int) []int {
+		if n == 0 {
+			return []int{1, 5}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("TreeParents accepted an out-of-range child")
+	}
+}
+
+func TestFanInSchedulePaperExamples(t *testing.T) {
+	// P=9: the paper's Figure 9 example uses fan-in 3 for a balanced tree.
+	if got := FanInSchedule(9, 8); len(got) != 2 || got[0] != 3 || got[1] != 3 {
+		t.Fatalf("FanInSchedule(9) = %v, want [3 3]", got)
+	}
+	// P=64 with 8-max flags: two rounds of 8.
+	if got := FanInSchedule(64, 8); len(got) != 2 || got[0] != 8 || got[1] != 8 {
+		t.Fatalf("FanInSchedule(64) = %v, want [8 8]", got)
+	}
+	if got := FanInSchedule(1, 8); got != nil {
+		t.Fatalf("FanInSchedule(1) = %v, want nil", got)
+	}
+}
+
+func TestFanInScheduleCoversP(t *testing.T) {
+	for P := 2; P <= 128; P++ {
+		sched := FanInSchedule(P, 8)
+		n := P
+		for _, f := range sched {
+			if f < 2 || f > 8 {
+				t.Fatalf("P=%d: fan-in %d out of range in %v", P, f, sched)
+			}
+			n = (n + f - 1) / f
+		}
+		if n != 1 {
+			t.Fatalf("P=%d: schedule %v leaves %d survivors", P, sched, n)
+		}
+	}
+}
+
+func TestFixedFanInSchedule(t *testing.T) {
+	got := FixedFanInSchedule(64, 4)
+	if len(got) != 3 {
+		t.Fatalf("FixedFanInSchedule(64,4) = %v, want 3 rounds", got)
+	}
+	for _, f := range got {
+		if f != 4 {
+			t.Fatalf("FixedFanInSchedule(64,4) = %v", got)
+		}
+	}
+	if got := FixedFanInSchedule(1, 4); got != nil {
+		t.Fatalf("FixedFanInSchedule(1,4) = %v", got)
+	}
+}
+
+func TestScheduleLevels(t *testing.T) {
+	levels := ScheduleLevels(20, []int{5, 4})
+	if len(levels) != 3 || levels[0] != 20 || levels[1] != 4 || levels[2] != 1 {
+		t.Fatalf("ScheduleLevels = %v, want [20 4 1]", levels)
+	}
+}
+
+func TestDisseminationRounds(t *testing.T) {
+	cases := []struct{ P, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {64, 6},
+	}
+	for _, c := range cases {
+		if got := DisseminationRounds(c.P); got != c.want {
+			t.Errorf("DisseminationRounds(%d) = %d, want %d", c.P, got, c.want)
+		}
+	}
+}
+
+func TestDisseminationPartner(t *testing.T) {
+	// Round j: i signals (i + 2^j) mod P.
+	if got := DisseminationPartner(0, 0, 5); got != 1 {
+		t.Fatalf("partner(0,0,5) = %d", got)
+	}
+	if got := DisseminationPartner(3, 1, 5); got != 0 {
+		t.Fatalf("partner(3,1,5) = %d", got)
+	}
+	if got := DisseminationPartner(4, 2, 5); got != 3 {
+		t.Fatalf("partner(4,2,5) = %d", got)
+	}
+}
+
+// Property: dissemination signalling reaches every thread from every
+// other thread within ceil(log2 P) rounds — the information-flow
+// completeness that makes the Notification-Phase unnecessary.
+func TestQuickDisseminationCompleteness(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		P := 1 + int(pRaw)%64
+		rounds := DisseminationRounds(P)
+		// know[i] = set of threads whose arrival i has heard about.
+		know := make([]map[int]bool, P)
+		for i := range know {
+			know[i] = map[int]bool{i: true}
+		}
+		for j := 0; j < rounds; j++ {
+			next := make([]map[int]bool, P)
+			for i := range next {
+				next[i] = make(map[int]bool, len(know[i])*2)
+				for k := range know[i] {
+					next[i][k] = true
+				}
+			}
+			for i := 0; i < P; i++ {
+				p := DisseminationPartner(i, j, P)
+				for k := range know[i] {
+					next[p][k] = true
+				}
+			}
+			know = next
+		}
+		for i := 0; i < P; i++ {
+			if len(know[i]) != P {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NUMA trees are spanning trees for arbitrary (P, Nc).
+func TestQuickNUMATreeSpanning(t *testing.T) {
+	f := func(pRaw, ncRaw uint8) bool {
+		P := 1 + int(pRaw)%128
+		Nc := 2 + int(ncRaw)%33
+		_, err := TreeParents(P, func(n int) []int { return NUMATreeChildren(n, P, Nc) })
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the remaining OpenMP worksharing constructs to Team:
+// dynamically-scheduled loops, single regions, critical sections and
+// sections. Dynamic scheduling matters to this repository because it
+// produces exactly the skewed barrier arrivals the paper's
+// introduction worries about ("waiting for the slowest peer").
+
+// ForDynamic executes body(i, tid) for every i in [0, n) with a
+// dynamic schedule: workers grab `chunk`-sized blocks from a shared
+// atomic counter, like `#pragma omp parallel for schedule(dynamic)`.
+// The implicit ending barrier is the team's barrier.
+func (t *Team) ForDynamic(n, chunk int, body func(i, tid int)) {
+	if n < 0 {
+		panic(fmt.Sprintf("omp: ForDynamic(%d)", n))
+	}
+	if chunk < 1 {
+		panic(fmt.Sprintf("omp: ForDynamic chunk %d < 1", chunk))
+	}
+	var next paddedCounter
+	t.Parallel(func(tid int) {
+		for {
+			start := int(next.v.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i, tid)
+			}
+		}
+	})
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Single runs body exactly once (on the master) while the rest of the
+// team waits at the implicit barrier — `#pragma omp single`.
+func (t *Team) Single(body func()) {
+	t.Parallel(func(tid int) {
+		if tid == 0 {
+			body()
+		}
+	})
+}
+
+// Critical returns a function that runs its argument under the team's
+// critical-section lock — `#pragma omp critical`. The returned
+// function may be called from inside any parallel region body.
+func (t *Team) Critical() func(body func()) {
+	var mu sync.Mutex
+	return func(body func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		body()
+	}
+}
+
+// Sections executes each section function exactly once, distributed
+// round-robin across the team, with the implicit ending barrier —
+// `#pragma omp sections`.
+func (t *Team) Sections(sections ...func(tid int)) {
+	t.Parallel(func(tid int) {
+		for s := tid; s < len(sections); s += t.p {
+			sections[s](tid)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	team := MustTeam(5, barrier.New(5))
+	defer team.Close()
+	const n = 237
+	counts := make([]atomic.Uint32, n)
+	team.ForDynamic(n, 7, func(i, tid int) {
+		counts[i].Add(1)
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestForDynamicSmallN(t *testing.T) {
+	team := MustTeam(8, barrier.New(8))
+	defer team.Close()
+	var total atomic.Uint32
+	team.ForDynamic(3, 10, func(i, tid int) { total.Add(1) }) // chunk > n
+	if total.Load() != 3 {
+		t.Fatalf("total = %d", total.Load())
+	}
+	team.ForDynamic(0, 1, func(i, tid int) { t.Error("body ran for n=0") })
+}
+
+func TestForDynamicPanics(t *testing.T) {
+	team := MustTeam(2, barrier.New(2))
+	defer team.Close()
+	for _, f := range []func(){
+		func() { team.ForDynamic(-1, 1, func(i, tid int) {}) },
+		func() { team.ForDynamic(10, 0, func(i, tid int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSingleRunsOnce(t *testing.T) {
+	team := MustTeam(6, barrier.New(6))
+	defer team.Close()
+	runs := 0
+	for r := 0; r < 10; r++ {
+		team.Single(func() { runs++ })
+	}
+	if runs != 10 {
+		t.Fatalf("single ran %d times over 10 regions", runs)
+	}
+}
+
+func TestCriticalExcludes(t *testing.T) {
+	team := MustTeam(8, barrier.New(8))
+	defer team.Close()
+	critical := team.Critical()
+	counter := 0 // plain int: only safe if Critical really excludes
+	team.For(1000, func(i, tid int) {
+		critical(func() { counter++ })
+	})
+	if counter != 1000 {
+		t.Fatalf("counter = %d, want 1000 (lost updates)", counter)
+	}
+}
+
+func TestSectionsRunEachOnce(t *testing.T) {
+	team := MustTeam(3, barrier.New(3))
+	defer team.Close()
+	var ran [7]atomic.Uint32
+	var secs []func(tid int)
+	for i := range ran {
+		i := i
+		secs = append(secs, func(tid int) { ran[i].Add(1) })
+	}
+	team.Sections(secs...)
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("section %d ran %d times", i, ran[i].Load())
+		}
+	}
+}
+
+func TestSectionsFewerThanWorkers(t *testing.T) {
+	team := MustTeam(8, barrier.New(8))
+	defer team.Close()
+	var total atomic.Uint32
+	team.Sections(func(tid int) { total.Add(1) })
+	if total.Load() != 1 {
+		t.Fatalf("one section ran %d times", total.Load())
+	}
+}
+
+func TestForDynamicLoadImbalance(t *testing.T) {
+	// Dynamic scheduling must tolerate wildly uneven body costs and
+	// still cover everything exactly once.
+	team := MustTeam(4, barrier.NewDissemination(4))
+	defer team.Close()
+	const n = 64
+	var sum atomic.Int64
+	team.ForDynamic(n, 1, func(i, tid int) {
+		work := 1
+		if i%13 == 0 {
+			work = 5000 // straggler iterations
+		}
+		acc := 0
+		for k := 0; k < work; k++ {
+			acc += k
+		}
+		if acc < 0 {
+			t.Error("impossible")
+		}
+		sum.Add(int64(i))
+	})
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

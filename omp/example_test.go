@@ -1,0 +1,39 @@
+package omp_test
+
+import (
+	"fmt"
+
+	"armbarrier/barrier"
+	"armbarrier/omp"
+)
+
+func ExampleTeam_For() {
+	team := omp.MustTeam(4, barrier.New(4))
+	defer team.Close()
+
+	xs := make([]int, 10)
+	team.For(len(xs), func(i, tid int) {
+		xs[i] = i * i
+	})
+	fmt.Println(xs)
+	// Output: [0 1 4 9 16 25 36 49 64 81]
+}
+
+func ExampleTeam_ReduceInt64() {
+	team := omp.MustTeam(4, barrier.NewDissemination(4))
+	defer team.Close()
+
+	// sum of 1..100 with an OpenMP-style reduction.
+	sum := team.ReduceInt64(100, 0, func(i int) int64 { return int64(i + 1) })
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+func ExampleParallel() {
+	squares := make([]int, 3)
+	_ = omp.Parallel(3, nil, func(tid int) {
+		squares[tid] = tid * tid
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4]
+}

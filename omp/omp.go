@@ -1,0 +1,200 @@
+// Package omp provides an OpenMP-flavoured fork/join layer on top of
+// package barrier: persistent worker teams whose parallel regions,
+// worksharing loops and reductions are separated by the configurable
+// barrier implementations this repository studies.
+//
+// This is the setting the paper targets — "a parallel construct often
+// works with an explicit or implicit barrier operation" — so the team
+// runtime makes the barrier choice a first-class, swappable parameter:
+//
+//	team := omp.NewTeam(8, barrier.New(8))
+//	defer team.Close()
+//	team.For(len(xs), func(i, tid int) { xs[i] = f(xs[i]) }) // implicit barrier
+//	sum := team.ReduceFloat64(len(xs), 0, func(i int) float64 { return xs[i] })
+package omp
+
+import (
+	"fmt"
+	"sync"
+
+	"armbarrier/barrier"
+)
+
+// Team is a fixed group of worker goroutines that execute parallel
+// regions separated by the team's barrier, like an OpenMP thread team
+// with a persistent pool. The calling goroutine acts as the master
+// (participant 0); Team methods must be called from one goroutine at a
+// time (the master), as in OpenMP's fork/join model.
+type Team struct {
+	b       barrier.Barrier
+	p       int
+	work    func(tid int)
+	closed  bool
+	started sync.WaitGroup
+}
+
+// NewTeam starts a team of p workers synchronized by b. The barrier
+// must have exactly p participants. Callers must Close the team to
+// release the workers.
+func NewTeam(p int, b barrier.Barrier) (*Team, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("omp: team size %d < 1", p)
+	}
+	if b.Participants() != p {
+		return nil, fmt.Errorf("omp: barrier has %d participants, team needs %d", b.Participants(), p)
+	}
+	t := &Team{b: b, p: p}
+	t.started.Add(p - 1)
+	for id := 1; id < p; id++ {
+		go t.worker(id)
+	}
+	t.started.Wait()
+	return t, nil
+}
+
+// MustTeam is NewTeam for known-good arguments; it panics on error.
+func MustTeam(p int, b barrier.Barrier) *Team {
+	t, err := NewTeam(p, b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// worker runs the fork/join loop: wait at the fork barrier for the
+// master to publish work, run it, then meet everyone at the join
+// barrier (the OpenMP implicit barrier).
+func (t *Team) worker(id int) {
+	t.started.Done()
+	for {
+		t.b.Wait(id) // fork: master has published t.work / t.closed
+		if t.closed {
+			return
+		}
+		t.work(id)
+		t.b.Wait(id) // join: implicit end-of-region barrier
+	}
+}
+
+// Size returns the number of workers (including the master).
+func (t *Team) Size() int { return t.p }
+
+// Barrier returns the team's barrier, e.g. for explicit mid-region
+// synchronization from inside Parallel bodies.
+func (t *Team) Barrier() barrier.Barrier { return t.b }
+
+// Parallel runs body(tid) on every team member concurrently and
+// returns after the implicit join barrier. It corresponds to
+// `#pragma omp parallel`.
+func (t *Team) Parallel(body func(tid int)) {
+	if t.closed {
+		panic("omp: Parallel on a closed team")
+	}
+	t.work = body
+	t.b.Wait(0) // fork
+	body(0)
+	t.b.Wait(0) // join
+}
+
+// For executes body(i, tid) for every i in [0, n) using a static
+// block schedule across the team, with the implicit ending barrier.
+// It corresponds to `#pragma omp parallel for schedule(static)`.
+func (t *Team) For(n int, body func(i, tid int)) {
+	if n < 0 {
+		panic(fmt.Sprintf("omp: For(%d)", n))
+	}
+	t.Parallel(func(tid int) {
+		lo, hi := blockRange(n, t.p, tid)
+		for i := lo; i < hi; i++ {
+			body(i, tid)
+		}
+	})
+}
+
+// blockRange splits [0, n) into p nearly-equal contiguous blocks and
+// returns block tid.
+func blockRange(n, p, tid int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = tid*base + min(tid, rem)
+	hi = lo + base
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReduceFloat64 computes init + Σ f(i) for i in [0, n) with a static
+// schedule, per-worker partials padded against false sharing, and a
+// barrier-separated combine — `#pragma omp parallel for reduction(+:x)`.
+func (t *Team) ReduceFloat64(n int, init float64, f func(i int) float64) float64 {
+	partial := make([]paddedFloat64, t.p)
+	t.For(n, func(i, tid int) {
+		partial[tid].v += f(i)
+	})
+	total := init
+	for i := range partial {
+		total += partial[i].v
+	}
+	return total
+}
+
+// ReduceInt64 is ReduceFloat64 for integers.
+func (t *Team) ReduceInt64(n int, init int64, f func(i int) int64) int64 {
+	partial := make([]paddedInt64, t.p)
+	t.For(n, func(i, tid int) {
+		partial[tid].v += f(i)
+	})
+	total := init
+	for i := range partial {
+		total += partial[i].v
+	}
+	return total
+}
+
+type paddedFloat64 struct {
+	v float64
+	_ [120]byte
+}
+
+type paddedInt64 struct {
+	v int64
+	_ [120]byte
+}
+
+// Close releases the worker goroutines. The team must not be used
+// afterwards. Close is idempotent.
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.b.Wait(0) // fork with closed=true: workers exit
+}
+
+// Parallel is a one-shot convenience: spawn p goroutines, run body on
+// each with an implicit ending barrier provided by b (or the optimized
+// barrier when b is nil), and return when all complete.
+func Parallel(p int, b barrier.Barrier, body func(tid int)) error {
+	if p < 1 {
+		return fmt.Errorf("omp: Parallel size %d < 1", p)
+	}
+	if b == nil {
+		b = barrier.New(p)
+	}
+	if b.Participants() != p {
+		return fmt.Errorf("omp: barrier has %d participants, want %d", b.Participants(), p)
+	}
+	barrier.Run(b, func(id int) {
+		body(id)
+		b.Wait(id)
+	})
+	return nil
+}

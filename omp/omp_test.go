@@ -1,0 +1,254 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"armbarrier/barrier"
+)
+
+func TestNewTeamValidation(t *testing.T) {
+	if _, err := NewTeam(0, barrier.New(1)); err == nil {
+		t.Error("accepted team size 0")
+	}
+	if _, err := NewTeam(4, barrier.New(8)); err == nil {
+		t.Error("accepted mismatched barrier size")
+	}
+}
+
+func TestMustTeamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTeam did not panic")
+		}
+	}()
+	MustTeam(3, barrier.New(2))
+}
+
+func TestParallelRunsEveryMember(t *testing.T) {
+	team := MustTeam(6, barrier.New(6))
+	defer team.Close()
+	var visited [6]atomic.Uint32
+	team.Parallel(func(tid int) {
+		visited[tid].Add(1)
+	})
+	for tid := range visited {
+		if visited[tid].Load() != 1 {
+			t.Fatalf("tid %d visited %d times", tid, visited[tid].Load())
+		}
+	}
+}
+
+func TestParallelRegionsAreOrdered(t *testing.T) {
+	// Writes from region k must be visible in region k+1 — the
+	// implicit barrier's whole purpose.
+	team := MustTeam(4, barrier.NewDissemination(4))
+	defer team.Close()
+	data := make([]int, 4)
+	var bad atomic.Uint32
+	for round := 1; round <= 50; round++ {
+		team.Parallel(func(tid int) {
+			data[tid] = round
+		})
+		team.Parallel(func(tid int) {
+			for _, v := range data {
+				if v != round {
+					bad.Add(1)
+				}
+			}
+		})
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d visibility violations across regions", bad.Load())
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	team := MustTeam(5, barrier.New(5))
+	defer team.Close()
+	const n = 103 // deliberately not divisible by 5
+	counts := make([]atomic.Uint32, n)
+	team.For(n, func(i, tid int) {
+		counts[i].Add(1)
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestForZeroIterations(t *testing.T) {
+	team := MustTeam(3, barrier.New(3))
+	defer team.Close()
+	ran := false
+	team.For(0, func(i, tid int) { ran = true })
+	if ran {
+		t.Fatal("For(0) ran a body")
+	}
+}
+
+func TestForNegativePanics(t *testing.T) {
+	team := MustTeam(2, barrier.New(2))
+	defer team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("For(-1) did not panic")
+		}
+	}()
+	team.For(-1, func(i, tid int) {})
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := 1 + int(pRaw)%16
+		prevHi := 0
+		for tid := 0; tid < p; tid++ {
+			lo, hi := blockRange(n, p, tid)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			// Blocks differ in size by at most one.
+			if hi-lo > n/p+1 {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceFloat64(t *testing.T) {
+	team := MustTeam(4, barrier.New(4))
+	defer team.Close()
+	xs := make([]float64, 1000)
+	want := 7.0
+	for i := range xs {
+		xs[i] = float64(i % 13)
+		want += xs[i]
+	}
+	got := team.ReduceFloat64(len(xs), 7, func(i int) float64 { return xs[i] })
+	if got != want {
+		t.Fatalf("ReduceFloat64 = %g, want %g", got, want)
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	team := MustTeam(3, barrier.NewMCS(3))
+	defer team.Close()
+	got := team.ReduceInt64(100, 5, func(i int) int64 { return int64(i) })
+	if want := int64(5 + 99*100/2); got != want {
+		t.Fatalf("ReduceInt64 = %d, want %d", got, want)
+	}
+}
+
+func TestTeamSizeOne(t *testing.T) {
+	team := MustTeam(1, barrier.New(1))
+	defer team.Close()
+	total := team.ReduceInt64(10, 0, func(i int) int64 { return 1 })
+	if total != 10 {
+		t.Fatalf("size-1 team reduce = %d", total)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	team := MustTeam(4, barrier.New(4))
+	team.Close()
+	team.Close() // must not hang or panic
+}
+
+func TestParallelAfterClosePanics(t *testing.T) {
+	team := MustTeam(2, barrier.New(2))
+	team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parallel after Close did not panic")
+		}
+	}()
+	team.Parallel(func(tid int) {})
+}
+
+func TestTeamAccessors(t *testing.T) {
+	b := barrier.NewCentral(3)
+	team := MustTeam(3, b)
+	defer team.Close()
+	if team.Size() != 3 {
+		t.Fatalf("Size = %d", team.Size())
+	}
+	if team.Barrier() != barrier.Barrier(b) {
+		t.Fatal("Barrier() did not return the team barrier")
+	}
+}
+
+func TestExplicitMidRegionBarrier(t *testing.T) {
+	// An explicit barrier inside a parallel region, as in
+	// `#pragma omp barrier`.
+	team := MustTeam(4, barrier.New(4))
+	defer team.Close()
+	stage := make([]int, 4)
+	var bad atomic.Uint32
+	team.Parallel(func(tid int) {
+		stage[tid] = 1
+		team.Barrier().Wait(tid)
+		for _, v := range stage {
+			if v != 1 {
+				bad.Add(1)
+			}
+		}
+		team.Barrier().Wait(tid)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d mid-region violations", bad.Load())
+	}
+}
+
+func TestOneShotParallel(t *testing.T) {
+	var total atomic.Uint32
+	if err := Parallel(5, nil, func(tid int) { total.Add(uint32(tid)) }); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 10 {
+		t.Fatalf("total = %d", total.Load())
+	}
+	if err := Parallel(0, nil, func(tid int) {}); err == nil {
+		t.Error("accepted size 0")
+	}
+	if err := Parallel(3, barrier.New(2), func(tid int) {}); err == nil {
+		t.Error("accepted mismatched barrier")
+	}
+}
+
+func TestTeamWithEveryBarrierKind(t *testing.T) {
+	mks := map[string]func(p int) barrier.Barrier{
+		"central":       func(p int) barrier.Barrier { return barrier.NewCentral(p) },
+		"dissemination": func(p int) barrier.Barrier { return barrier.NewDissemination(p) },
+		"combining":     func(p int) barrier.Barrier { return barrier.NewCombining(p, 2) },
+		"mcs":           func(p int) barrier.Barrier { return barrier.NewMCS(p) },
+		"tournament":    func(p int) barrier.Barrier { return barrier.NewTournament(p) },
+		"stour":         func(p int) barrier.Barrier { return barrier.NewStaticFWay(p) },
+		"dtour":         func(p int) barrier.Barrier { return barrier.NewDynamicFWay(p) },
+		"hyper":         func(p int) barrier.Barrier { return barrier.NewHyper(p) },
+		"optimized":     func(p int) barrier.Barrier { return barrier.New(p) },
+	}
+	for name, mk := range mks {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			team := MustTeam(6, mk(6))
+			defer team.Close()
+			got := team.ReduceInt64(60, 0, func(i int) int64 { return int64(i % 7) })
+			var want int64
+			for i := 0; i < 60; i++ {
+				want += int64(i % 7)
+			}
+			if got != want {
+				t.Fatalf("reduce with %s = %d, want %d", name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+// Package algo implements the barrier synchronization algorithms
+// evaluated in the paper as programs for the cache simulator
+// (package sim): the sense-reversing centralized barrier (SENSE, the
+// GCC libgomp algorithm), the dissemination barrier (DIS), the
+// software combining tree (CMB), the MCS tree (MCS), the tournament
+// barrier (TOUR), the static and dynamic f-way tournaments (STOUR,
+// DTOUR), the LLVM-style hypercube tree (HYPER), and the paper's
+// optimized barrier (padded static 4-way arrival plus a configurable
+// global / binary-tree / NUMA-aware-tree wake-up).
+//
+// Every algorithm is reusable across episodes via sense reversal, so a
+// measurement loop can call Wait repeatedly without re-initialization —
+// exactly how the EPCC micro-benchmark drives OpenMP barriers.
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+)
+
+// Barrier is a simulated barrier. Wait must be called by every
+// simulated thread of the kernel the barrier was built on; it returns
+// when all threads of the episode have arrived and been released.
+type Barrier interface {
+	// Name identifies the algorithm configuration for reports.
+	Name() string
+	// Wait synchronizes the calling simulated thread.
+	Wait(t *sim.Thread)
+}
+
+// Factory builds a barrier over a kernel synchronizing P threads
+// (P == k.Threads()). Factories allocate simulated memory, so they must
+// run before Kernel.Run.
+type Factory func(k *sim.Kernel, P int) Barrier
+
+// senseOf returns the flag value for an episode: episodes alternate
+// 1, 0, 1, 0, ... so flags never need resetting.
+func senseOf(episode uint64) uint64 {
+	return 1 - episode%2
+}
+
+// checkThreads panics when a factory is built for a mismatched kernel;
+// every constructor calls it.
+func checkThreads(k *sim.Kernel, P int) {
+	if P != k.Threads() {
+		panic(fmt.Sprintf("algo: barrier for %d threads on a %d-thread kernel", P, k.Threads()))
+	}
+	if P < 1 {
+		panic("algo: barrier needs at least one thread")
+	}
+}

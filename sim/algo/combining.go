@@ -1,0 +1,91 @@
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+)
+
+// Combining is the software combining tree barrier (CMB) of Yew, Tzeng
+// and Lawrie: threads are split into groups, each group shares an
+// atomic counter stored at its own memory location (several small hot
+// spots instead of one), and the last arriver of a group climbs to the
+// parent node. The overall last arriver flips a global sense to release
+// everyone. The paper evaluates CMB with a fan-in of 2.
+type Combining struct {
+	p     int
+	fanIn int
+	// levels[l][g] is the counter of group g at level l; level 0 nodes
+	// group threads, level l nodes group level-(l-1) winners.
+	levels [][]combineNode
+	gsense sim.Addr
+	// episode is per-thread local state.
+	episode []uint64
+}
+
+type combineNode struct {
+	counter sim.Addr
+	size    int // how many arrivals this node expects
+}
+
+// NewCombining builds a combining tree with the given fan-in.
+func NewCombining(k *sim.Kernel, P, fanIn int) Barrier {
+	checkThreads(k, P)
+	if fanIn < 2 {
+		panic(fmt.Sprintf("algo: combining tree fan-in %d < 2", fanIn))
+	}
+	c := &Combining{p: P, fanIn: fanIn, gsense: k.AllocPadded(1)[0], episode: make([]uint64, P)}
+	for n := P; n > 1; n = (n + fanIn - 1) / fanIn {
+		groups := (n + fanIn - 1) / fanIn
+		counters := k.AllocPadded(groups) // each hot spot on its own line
+		level := make([]combineNode, groups)
+		for g := 0; g < groups; g++ {
+			size := fanIn
+			if rem := n - g*fanIn; rem < size {
+				size = rem
+			}
+			level[g] = combineNode{counter: counters[g], size: size}
+		}
+		c.levels = append(c.levels, level)
+	}
+	return c
+}
+
+// CMB is the paper's configuration: a combining tree with fan-in 2.
+func CMB(k *sim.Kernel, P int) Barrier {
+	return NewCombining(k, P, 2)
+}
+
+// Name implements Barrier.
+func (c *Combining) Name() string {
+	if c.fanIn == 2 {
+		return "cmb"
+	}
+	return fmt.Sprintf("cmb%d", c.fanIn)
+}
+
+// Wait implements Barrier.
+func (c *Combining) Wait(t *sim.Thread) {
+	id := t.ID()
+	mySense := senseOf(c.episode[id])
+	c.episode[id]++
+	if c.p == 1 {
+		return
+	}
+	idx := id
+	for l := 0; l < len(c.levels); l++ {
+		node := &c.levels[l][idx/c.fanIn]
+		pos := t.FetchAdd(node.counter, 1)
+		if pos != uint64(node.size-1) {
+			// Not the last of this group: wait for the release.
+			t.SpinUntilEqual(c.gsense, mySense)
+			return
+		}
+		// Last arriver: reset the counter for the next episode and
+		// climb as this group's representative.
+		t.Store(node.counter, 0)
+		idx /= c.fanIn
+	}
+	// Overall last arriver releases everyone.
+	t.Store(c.gsense, mySense)
+}

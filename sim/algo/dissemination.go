@@ -1,0 +1,112 @@
+package algo
+
+import (
+	"armbarrier/model"
+	"armbarrier/sim"
+)
+
+// Dissemination is the dissemination barrier (DIS): ceil(log2 P)
+// rounds of pairwise signalling after which every thread has
+// transitively heard from every other, so no Notification-Phase is
+// needed. Flags use the classic parity + sense-reversal scheme of
+// Mellor-Crummey & Scott so episodes need no re-initialization.
+//
+// The paper observes cost spikes whenever the round count grows (at
+// 2, 4, 8, 16, 32 threads) and poor scalability once P exceeds the
+// cluster size N_c, because every round then performs cross-cluster
+// stores.
+type Dissemination struct {
+	p      int
+	rounds int
+	padded bool
+	// flags[parity][round][thread]: written by the thread's partner.
+	flags [2][][]sim.Addr
+	// Per-thread local state.
+	parity  []int
+	sense   []uint64
+	episode []uint64
+}
+
+// NewDissemination builds the textbook barrier with flags packed at
+// the 32-bit flag granularity, as in the simple C implementations the
+// paper evaluates. Use NewDisseminationPadded for the
+// one-flag-per-line variant.
+func NewDissemination(k *sim.Kernel, P int) Barrier {
+	return newDissemination(k, P, false)
+}
+
+// NewDisseminationPadded builds the dissemination barrier with each
+// flag on its own cacheline — an ablation of how much of DIS's poor
+// ARMv8 scalability is false sharing versus cross-cluster signalling.
+func NewDisseminationPadded(k *sim.Kernel, P int) Barrier {
+	return newDissemination(k, P, true)
+}
+
+func newDissemination(k *sim.Kernel, P int, padded bool) Barrier {
+	checkThreads(k, P)
+	d := &Dissemination{
+		p:       P,
+		rounds:  model.DisseminationRounds(P),
+		padded:  padded,
+		parity:  make([]int, P),
+		sense:   make([]uint64, P),
+		episode: make([]uint64, P),
+	}
+	for i := range d.sense {
+		d.sense[i] = 1 // MCS: sense starts true, flags start 0
+	}
+	for par := 0; par < 2; par++ {
+		d.flags[par] = make([][]sim.Addr, d.rounds)
+		for r := 0; r < d.rounds; r++ {
+			d.flags[par][r] = make([]sim.Addr, P)
+		}
+	}
+	// Classic C layout: flags[thread][parity][round], one row per
+	// thread, so a thread's flags for every round pack together (and on
+	// large-line machines neighbouring threads' rows share lines). The
+	// padded variant puts every flag on its own line instead.
+	for i := 0; i < P; i++ {
+		var row []sim.Addr
+		if padded {
+			row = k.AllocPadded(2 * d.rounds)
+		} else {
+			row = k.Alloc(2 * d.rounds)
+		}
+		for par := 0; par < 2; par++ {
+			for r := 0; r < d.rounds; r++ {
+				d.flags[par][r][i] = row[par*d.rounds+r]
+			}
+		}
+	}
+	return d
+}
+
+// Name implements Barrier.
+func (d *Dissemination) Name() string {
+	if d.padded {
+		return "dis-pad"
+	}
+	return "dis"
+}
+
+// Wait implements Barrier.
+func (d *Dissemination) Wait(t *sim.Thread) {
+	id := t.ID()
+	d.episode[id]++
+	if d.p == 1 {
+		return
+	}
+	par := d.parity[id]
+	sense := d.sense[id]
+	stride := 1
+	for r := 0; r < d.rounds; r++ {
+		partner := (id + stride) % d.p
+		t.Store(d.flags[par][r][partner], sense)
+		t.SpinUntilEqual(d.flags[par][r][id], sense)
+		stride *= 2
+	}
+	if par == 1 {
+		d.sense[id] = 1 - sense
+	}
+	d.parity[id] = 1 - par
+}

@@ -1,0 +1,132 @@
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+	"armbarrier/topology"
+)
+
+// MeasureEpisodes runs the EPCC loop and returns the duration of every
+// timed episode individually (episode e's completion = the latest
+// thread clock after its Wait, minus episode e-1's completion). The
+// paper reports run-to-run noise below 2%; on the deterministic
+// simulator, per-episode spread plays the same role — tests use it to
+// check steady-state behaviour.
+func MeasureEpisodes(m *topology.Machine, threads int, factory Factory, opts MeasureOptions) ([]float64, error) {
+	if err := opts.defaults(m, threads); err != nil {
+		return nil, err
+	}
+	k, err := sim.New(sim.Config{Machine: m, Placement: opts.Placement})
+	if err != nil {
+		return nil, err
+	}
+	b := factory(k, threads)
+	// ends[e][t] is thread t's clock after its (warmup+e)-th Wait.
+	ends := make([][]float64, opts.Episodes+1)
+	for e := range ends {
+		ends[e] = make([]float64, threads)
+	}
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < opts.Warmup; e++ {
+			b.Wait(t)
+		}
+		ends[0][t.ID()] = t.Now()
+		for e := 1; e <= opts.Episodes; e++ {
+			b.Wait(t)
+			ends[e][t.ID()] = t.Now()
+		}
+	})
+	maxOf := func(xs []float64) float64 {
+		max := xs[0]
+		for _, x := range xs[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	durations := make([]float64, opts.Episodes)
+	prev := maxOf(ends[0])
+	for e := 1; e <= opts.Episodes; e++ {
+		cur := maxOf(ends[e])
+		durations[e-1] = cur - prev
+		prev = cur
+	}
+	return durations, nil
+}
+
+// PhaseBreakdown splits one f-way tournament configuration's cost into
+// Arrival-Phase and Notification-Phase components by timing when the
+// champion finishes gathering arrivals versus when the last thread is
+// released — the decomposition Section V's optimizations target.
+type PhaseBreakdown struct {
+	ArrivalNs      float64
+	NotificationNs float64
+}
+
+// TotalNs returns the combined phase cost.
+func (p PhaseBreakdown) TotalNs() float64 { return p.ArrivalNs + p.NotificationNs }
+
+// MeasurePhases measures the phase breakdown of an FWay configuration
+// (static only: the champion must be rank 0). The breakdown is
+// averaged over the timed episodes.
+func MeasurePhases(m *topology.Machine, threads int, cfg FWayConfig, opts MeasureOptions) (PhaseBreakdown, error) {
+	if cfg.Dynamic {
+		return PhaseBreakdown{}, fmt.Errorf("algo: MeasurePhases requires a static tournament")
+	}
+	if err := opts.defaults(m, threads); err != nil {
+		return PhaseBreakdown{}, err
+	}
+	k, err := sim.New(sim.Config{Machine: m, Placement: opts.Placement})
+	if err != nil {
+		return PhaseBreakdown{}, err
+	}
+	var arrivalDone []float64
+	cfg.arrivalProbe = func(now float64) {
+		arrivalDone = append(arrivalDone, now)
+	}
+	b := NewFWay(k, threads, cfg)
+	episodes := opts.Warmup + opts.Episodes
+	// ends[e][t] is thread t's clock after its e-th Wait; the episode
+	// completes (Notification-Phase ends) at max over threads.
+	ends := make([][]float64, episodes)
+	for e := range ends {
+		ends[e] = make([]float64, threads)
+	}
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < episodes; e++ {
+			b.Wait(t)
+			ends[e][t.ID()] = t.Now()
+		}
+	})
+	if len(arrivalDone) != episodes {
+		return PhaseBreakdown{}, fmt.Errorf("algo: arrival probe fired %d times, want %d",
+			len(arrivalDone), episodes)
+	}
+	maxOf := func(xs []float64) float64 {
+		max := xs[0]
+		for _, x := range xs[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	var arr, note float64
+	n := 0
+	for e := opts.Warmup; e < episodes; e++ {
+		start := 0.0
+		if e > 0 {
+			start = maxOf(ends[e-1])
+		}
+		end := maxOf(ends[e])
+		arr += arrivalDone[e] - start
+		note += end - arrivalDone[e]
+		n++
+	}
+	return PhaseBreakdown{
+		ArrivalNs:      arr / float64(n),
+		NotificationNs: note / float64(n),
+	}, nil
+}

@@ -1,0 +1,112 @@
+package algo
+
+import (
+	"testing"
+
+	"armbarrier/internal/stats"
+	"armbarrier/sim"
+	"armbarrier/topology"
+)
+
+func TestMeasureEpisodesCount(t *testing.T) {
+	m := topology.Kunpeng920()
+	eps, err := MeasureEpisodes(m, 16, STOUR, MeasureOptions{Episodes: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 7 {
+		t.Fatalf("got %d episode durations, want 7", len(eps))
+	}
+	for i, e := range eps {
+		if e <= 0 {
+			t.Fatalf("episode %d duration %g", i, e)
+		}
+	}
+}
+
+func TestMeasureEpisodesSteadyState(t *testing.T) {
+	// The paper reports <2% noise across runs. On the deterministic
+	// simulator, post-warm-up episodes should be in a tight steady
+	// state; allow a modest spread for pipelining effects.
+	for _, m := range topology.ARMMachines() {
+		eps, err := MeasureEpisodes(m, 64, Static4WayPadded, MeasureOptions{Warmup: 5, Episodes: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := stats.RelStdDev(eps); rel > 0.10 {
+			t.Errorf("%s: episode spread %.1f%% exceeds 10%%: %v", m.Name, rel*100, eps)
+		}
+	}
+}
+
+func TestMeasureEpisodesMatchesMeasure(t *testing.T) {
+	m := topology.ThunderX2()
+	opts := MeasureOptions{Episodes: 10}
+	eps, err := MeasureEpisodes(m, 32, NewSense, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := stats.Mean(eps)
+	total := MustMeasure(m, 32, NewSense, opts)
+	if diff := avg - total; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("episode mean %g != Measure %g", avg, total)
+	}
+}
+
+func TestMeasureEpisodesValidation(t *testing.T) {
+	m := topology.ThunderX2()
+	if _, err := MeasureEpisodes(m, 200, NewSense, MeasureOptions{}); err == nil {
+		t.Fatal("accepted too many threads")
+	}
+}
+
+func TestMeasurePhasesSplitsCost(t *testing.T) {
+	m := topology.Phytium2000()
+	cfg := FWayConfig{Padded: true, Wakeup: WakeGlobal}
+	pb, err := MeasurePhases(m, 64, cfg, MeasureOptions{Episodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.ArrivalNs <= 0 || pb.NotificationNs <= 0 {
+		t.Fatalf("phase breakdown %+v has non-positive phases", pb)
+	}
+	// The phases must sum to (about) the plain measurement of the same
+	// configuration.
+	total := MustMeasure(m, 64, func(k *sim.Kernel, P int) Barrier {
+		return NewFWay(k, P, cfg)
+	}, MeasureOptions{Episodes: 8})
+	if ratio := pb.TotalNs() / total; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("phase sum %.0f vs total %.0f (ratio %.2f)", pb.TotalNs(), total, ratio)
+	}
+}
+
+func TestMeasurePhasesGlobalNotificationHeavierThanTree(t *testing.T) {
+	// Section V-C: on Phytium the Notification-Phase under the global
+	// wake-up dwarfs the tree wake-up's at 64 threads.
+	m := topology.Phytium2000()
+	opts := MeasureOptions{Episodes: 8}
+	global, err := MeasurePhases(m, 64, FWayConfig{Padded: true, Wakeup: WakeGlobal}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := MeasurePhases(m, 64, FWayConfig{Padded: true, Wakeup: WakeNUMATree}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.NotificationNs <= tree.NotificationNs {
+		t.Fatalf("global notification %.0fns not heavier than NUMA tree %.0fns",
+			global.NotificationNs, tree.NotificationNs)
+	}
+	// Arrival phases are the same algorithm; they should be comparable.
+	ratio := global.ArrivalNs / tree.ArrivalNs
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("arrival phases diverge: global %.0f vs tree %.0f", global.ArrivalNs, tree.ArrivalNs)
+	}
+}
+
+func TestMeasurePhasesRejectsDynamic(t *testing.T) {
+	m := topology.Kunpeng920()
+	if _, err := MeasurePhases(m, 8, FWayConfig{Dynamic: true, Wakeup: WakeGlobal}, MeasureOptions{}); err == nil {
+		t.Fatal("accepted dynamic tournament")
+	}
+}

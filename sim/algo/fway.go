@@ -1,0 +1,290 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"armbarrier/model"
+	"armbarrier/sim"
+)
+
+// FWayConfig selects a member of the f-way tournament family
+// (Grunwald & Vajracharya) — the paper's optimization baseline and the
+// vehicle for all of its Section V improvements.
+type FWayConfig struct {
+	// Schedule holds the per-round fan-ins. Nil selects the original
+	// balanced schedule model.FanInSchedule(P, 8).
+	Schedule []int
+	// Padded gives every arrival flag its own cacheline (Section
+	// V-B1). False packs flags at the 32-bit granularity of the
+	// original algorithm, so sibling flags and neighbouring subtrees
+	// share lines.
+	Padded bool
+	// Dynamic decides winners at run time with per-group atomic
+	// counters (DTOUR) instead of statically (STOUR). Dynamic
+	// tournaments require WakeGlobal, since the champion's identity is
+	// unknown to the wake-up trees.
+	Dynamic bool
+	// Wakeup selects the Notification-Phase strategy (Section V-C).
+	Wakeup WakeupKind
+	// ClusterMajor re-ranks threads so that arrival groups are filled
+	// cluster-by-cluster under the kernel's placement, keeping
+	// low-round synchronization inside a core cluster even when
+	// threads are pinned scattered.
+	ClusterMajor bool
+	// Name overrides the generated display name.
+	Name string
+	// arrivalProbe, when set, is called by the champion with its
+	// virtual time the moment the Arrival-Phase completes (before the
+	// Notification-Phase starts). Used by MeasurePhases.
+	arrivalProbe func(now float64)
+}
+
+// FWay is the f-way tournament barrier configured by FWayConfig.
+type FWay struct {
+	p     int
+	sched []int
+	// participants[r] is how many ranks enter round r.
+	participants []int
+	dynamic      bool
+	// flags[r][g*(f-1)+(j-1)] is the arrival flag that the child at
+	// position j of group g sets for its round-r winner (static mode).
+	flags [][]sim.Addr
+	// counters[r] holds one padded arrival counter per group
+	// (dynamic mode).
+	counters [][]sim.Addr
+	wake     wakeup
+	// rank[id] is the thread's position in the tournament ordering.
+	rank         []int
+	episode      []uint64
+	name         string
+	arrivalProbe func(now float64)
+}
+
+// NewFWay builds an f-way tournament barrier on the kernel.
+func NewFWay(k *sim.Kernel, P int, cfg FWayConfig) Barrier {
+	checkThreads(k, P)
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = model.FanInSchedule(P, 8)
+	}
+	if cfg.Dynamic && cfg.Wakeup != WakeGlobal {
+		panic("algo: dynamic f-way tournament requires the global wake-up")
+	}
+	f := &FWay{
+		p:            P,
+		sched:        sched,
+		participants: model.ScheduleLevels(P, sched),
+		dynamic:      cfg.Dynamic,
+		rank:         makeRanks(k, P, cfg.ClusterMajor),
+		episode:      make([]uint64, P),
+		name:         cfg.Name,
+		arrivalProbe: cfg.arrivalProbe,
+	}
+	if f.name == "" {
+		f.name = generatedName(cfg)
+	}
+	for r, fr := range sched {
+		groups := (f.participants[r] + fr - 1) / fr
+		if cfg.Dynamic {
+			f.counters = append(f.counters, k.AllocPadded(groups))
+			continue
+		}
+		n := groups * (fr - 1)
+		if cfg.Padded {
+			f.flags = append(f.flags, k.AllocPadded(n))
+		} else {
+			f.flags = append(f.flags, k.Alloc(n))
+		}
+	}
+	f.wake = newWakeup(k, cfg.Wakeup, P, k.Machine().ClusterSize)
+	return f
+}
+
+func generatedName(cfg FWayConfig) string {
+	base := "stour"
+	if cfg.Dynamic {
+		base = "dtour"
+	}
+	if cfg.Padded {
+		base += "-pad"
+	}
+	if cfg.Wakeup != WakeGlobal {
+		base += "-" + cfg.Wakeup.String()
+	}
+	return base
+}
+
+// makeRanks returns the id->rank permutation: identity, or cluster-
+// major ordering of the kernel's placement.
+func makeRanks(k *sim.Kernel, P int, clusterMajor bool) []int {
+	rank := make([]int, P)
+	if !clusterMajor {
+		for i := range rank {
+			rank[i] = i
+		}
+		return rank
+	}
+	m := k.Machine()
+	order := make([]int, P)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca := m.ClusterOf(k.Placement()[order[a]])
+		cb := m.ClusterOf(k.Placement()[order[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	for r, id := range order {
+		rank[id] = r
+	}
+	return rank
+}
+
+// Name implements Barrier.
+func (f *FWay) Name() string { return f.name }
+
+// Wait implements Barrier.
+func (f *FWay) Wait(t *sim.Thread) {
+	id := t.ID()
+	sense := senseOf(f.episode[id])
+	f.episode[id]++
+	if f.p == 1 {
+		return
+	}
+	rank := f.rank[id]
+	if f.dynamic {
+		f.waitDynamic(t, rank, sense)
+		return
+	}
+	f.waitStatic(t, rank, sense)
+}
+
+func (f *FWay) waitStatic(t *sim.Thread, rank int, sense uint64) {
+	stride := 1
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		pidx := rank / stride // participant index this round
+		group := pidx / fr
+		j := pidx % fr
+		if j != 0 {
+			// Statically-determined loser: set my flag in the winner's
+			// slot, then wait for the release.
+			t.Store(f.flags[r][group*(fr-1)+(j-1)], sense)
+			f.wake.wait(t, rank, sense)
+			return
+		}
+		// Winner: collect the arrivals of my group's other members.
+		for cj := 1; cj < fr; cj++ {
+			if childRank := rank + cj*stride; childRank < f.p {
+				t.SpinUntilEqual(f.flags[r][group*(fr-1)+(cj-1)], sense)
+			}
+		}
+		stride *= fr
+	}
+	// Champion (rank 0): the Arrival-Phase is complete.
+	if f.arrivalProbe != nil {
+		f.arrivalProbe(t.Now())
+	}
+	f.wake.signal(t, 0, sense)
+}
+
+func (f *FWay) waitDynamic(t *sim.Thread, rank int, sense uint64) {
+	idx := rank
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		group := idx / fr
+		size := fr
+		if rem := f.participants[r] - group*fr; rem < size {
+			size = rem
+		}
+		if size > 1 {
+			pos := t.FetchAdd(f.counters[r][group], 1)
+			if pos != uint64(size-1) {
+				// Not last: the dynamic winner continues without us.
+				f.wake.wait(t, rank, sense)
+				return
+			}
+			// Last arriver advances; reset the counter for reuse.
+			t.Store(f.counters[r][group], 0)
+		}
+		idx = group
+	}
+	f.wake.signal(t, 0, sense)
+}
+
+// STOUR is the original static f-way tournament: balanced per-level
+// fan-ins, packed 32-bit flags, global wake-up.
+func STOUR(k *sim.Kernel, P int) Barrier {
+	return NewFWay(k, P, FWayConfig{Wakeup: WakeGlobal, Name: "stour"})
+}
+
+// DTOUR is the dynamic f-way tournament: balanced fan-ins, per-group
+// atomic counters, global wake-up.
+func DTOUR(k *sim.Kernel, P int) Barrier {
+	return NewFWay(k, P, FWayConfig{Dynamic: true, Wakeup: WakeGlobal, Name: "dtour"})
+}
+
+// STOURPadded is STOUR with each arrival flag padded to a cacheline —
+// the paper's first Arrival-Phase optimization (Figure 11's
+// "padding static f-way").
+func STOURPadded(k *sim.Kernel, P int) Barrier {
+	return NewFWay(k, P, FWayConfig{Padded: true, Wakeup: WakeGlobal, Name: "stour-pad"})
+}
+
+// Static4WayPadded is Figure 11's "padding static 4-way": padded flags
+// and the fixed fan-in of 4 derived from Equation 2.
+func Static4WayPadded(k *sim.Kernel, P int) Barrier {
+	return NewFWay(k, P, FWayConfig{
+		Schedule: model.FixedFanInSchedule(P, 4),
+		Padded:   true,
+		Wakeup:   WakeGlobal,
+		Name:     "stour4-pad",
+	})
+}
+
+// StaticFixedFanIn is the padded static tournament with an arbitrary
+// fixed fan-in, the configuration swept by Figure 13.
+func StaticFixedFanIn(f int) Factory {
+	return func(k *sim.Kernel, P int) Barrier {
+		return NewFWay(k, P, FWayConfig{
+			Schedule: model.FixedFanInSchedule(P, f),
+			Padded:   true,
+			Wakeup:   WakeGlobal,
+			Name:     fmt.Sprintf("stour%d-pad", f),
+		})
+	}
+}
+
+// OptimizedWith is the paper's optimized barrier with an explicit
+// wake-up strategy: padded flags, fixed fan-in 4, cluster-major thread
+// grouping, and the given Notification-Phase (Figure 12 compares the
+// three strategies).
+func OptimizedWith(wake WakeupKind) Factory {
+	return func(k *sim.Kernel, P int) Barrier {
+		return NewFWay(k, P, FWayConfig{
+			Schedule:     model.FixedFanInSchedule(P, 4),
+			Padded:       true,
+			Wakeup:       wake,
+			ClusterMajor: true,
+			Name:         "opt-" + wake.String(),
+		})
+	}
+}
+
+// Optimized is the final tuned barrier: it picks the wake-up strategy
+// the paper found best for the kernel's machine — global on Kunpeng920
+// (low contention), the NUMA-aware tree on the clustered Phytium 2000+
+// and ThunderX2.
+func Optimized(k *sim.Kernel, P int) Barrier {
+	wake := WakeNUMATree
+	if model.PredictWakeup(k.Machine(), P) == "global" {
+		wake = WakeGlobal
+	}
+	b := OptimizedWith(wake)(k, P).(*FWay)
+	b.name = "optimized"
+	return b
+}

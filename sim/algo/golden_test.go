@@ -1,0 +1,117 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+// Golden regression table: exact simulated overheads (ns/barrier) for
+// every registered algorithm at 8 threads and at full machine width,
+// with default measurement options. The simulator is deterministic, so
+// any drift here is a real behaviour change — either a bug or an
+// intentional recalibration (in which case regenerate the table; see
+// EXPERIMENTS.md for how results map to the paper's figures).
+var goldenCosts = map[string]map[string][2]float64{
+	"phytium2000": {
+		"sense":        {314.3900, 5822.2350},
+		"dis":          {251.6523, 5048.7575},
+		"cmb":          {288.3350, 2543.3973},
+		"mcs":          {232.2083, 901.5557},
+		"tour":         {204.7500, 2046.1600},
+		"stour":        {201.8730, 2744.0680},
+		"dtour":        {314.3900, 2898.1268},
+		"gcc":          {314.3900, 5822.2350},
+		"llvm":         {1197.8800, 1536.4400},
+		"hyper":        {147.8800, 487.7062},
+		"optimized":    {197.5650, 572.6250},
+		"ndis2":        {134.6600, 1461.1615},
+		"hybrid":       {145.1150, 497.3596},
+		"ring":         {265.2300, 3119.1300},
+		"sense-futex":  {2814.3900, 8322.2350},
+		"sense-packed": {372.5375, 6817.3431},
+	},
+	"thunderx2": {
+		"sense":        {1287.6000, 24862.5000},
+		"dis":          {216.0000, 10272.2175},
+		"cmb":          {625.2000, 4151.5450},
+		"mcs":          {234.0000, 1481.0288},
+		"tour":         {240.0000, 3402.9500},
+		"stour":        {176.6000, 3687.1125},
+		"dtour":        {1287.6000, 6043.6500},
+		"gcc":          {1287.6000, 24862.5000},
+		"llvm":         {1318.0000, 1846.4500},
+		"hyper":        {168.0000, 696.4500},
+		"optimized":    {220.0000, 744.4500},
+		"ndis2":        {120.0000, 2716.8113},
+		"hybrid":       {1287.6000, 6250.6500},
+		"ring":         {506.4000, 4888.5000},
+		"sense-futex":  {3787.6000, 27362.5000},
+		"sense-packed": {1503.1200, 18244.7850},
+	},
+	"kunpeng920": {
+		"sense":        {562.0140, 5346.3180},
+		"dis":          {243.8500, 1389.9127},
+		"cmb":          {316.2610, 1228.3126},
+		"mcs":          {189.9314, 503.0347},
+		"tour":         {127.4580, 438.7840},
+		"stour":        {159.4000, 1156.7540},
+		"dtour":        {562.0140, 2707.2605},
+		"gcc":          {562.0140, 5346.3180},
+		"llvm":         {3334.5040, 3544.7560},
+		"hyper":        {134.5040, 344.7560},
+		"optimized":    {126.3080, 397.2580},
+		"ndis2":        {120.2040, 443.4320},
+		"hybrid":       {242.5320, 503.2340},
+		"ring":         {268.8640, 2835.6240},
+		"sense-futex":  {3062.0140, 7846.3180},
+		"sense-packed": {533.7260, 5485.4744},
+	},
+	"xeongold": {
+		"sense":        {258.6000, 1021.8000},
+		"dis":          {140.4000, 234.0000},
+		"cmb":          {206.8400, 446.6400},
+		"mcs":          {150.8000, 248.4000},
+		"tour":         {128.4000, 314.4000},
+		"stour":        {126.0000, 565.0000},
+		"dtour":        {258.6000, 475.8000},
+		"gcc":          {258.6000, 1021.8000},
+		"llvm":         {811.6000, 876.4000},
+		"hyper":        {111.6000, 176.4000},
+		"optimized":    {122.2000, 210.6000},
+		"ndis2":        {75.6000, 151.2000},
+		"hybrid":       {258.6000, 1021.8000},
+		"ring":         {329.6000, 1452.8000},
+		"sense-futex":  {2758.6000, 3521.8000},
+		"sense-packed": {287.3200, 1213.9200},
+	},
+}
+
+func TestGoldenCosts(t *testing.T) {
+	for _, m := range topology.AllMachines() {
+		want, ok := goldenCosts[m.Name]
+		if !ok {
+			t.Fatalf("no golden entry for %s", m.Name)
+		}
+		for name, pair := range want {
+			factory := Registry[name]
+			got8 := MustMeasure(m, 8, factory, MeasureOptions{})
+			gotMax := MustMeasure(m, m.Cores, factory, MeasureOptions{})
+			if math.Abs(got8-pair[0]) > 0.01 {
+				t.Errorf("%s/%s at 8T: %.4f ns, golden %.4f", m.Name, name, got8, pair[0])
+			}
+			if math.Abs(gotMax-pair[1]) > 0.01 {
+				t.Errorf("%s/%s at %dT: %.4f ns, golden %.4f", m.Name, name, m.Cores, gotMax, pair[1])
+			}
+		}
+	}
+}
+
+func TestGoldenCoversRegistry(t *testing.T) {
+	for name := range Registry {
+		if _, ok := goldenCosts["phytium2000"][name]; !ok {
+			t.Errorf("registry algorithm %q missing from the golden table", name)
+		}
+	}
+}

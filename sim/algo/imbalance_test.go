@@ -1,0 +1,73 @@
+package algo
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestMeasureWithWorkBalanced(t *testing.T) {
+	m := topology.Kunpeng920()
+	opts := MeasureOptions{Episodes: 8}
+	bare := MustMeasure(m, 16, Optimized, opts)
+	episode, critical, err := MeasureWithWork(m, 16, Optimized, UniformWork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if critical != 1000 {
+		t.Fatalf("critical work = %g, want 1000", critical)
+	}
+	// Episode ≈ work + barrier overhead.
+	overhead := episode - critical
+	if overhead <= 0 || overhead > 3*bare+100 {
+		t.Fatalf("balanced overhead %g implausible (bare barrier %g)", overhead, bare)
+	}
+}
+
+func TestMeasureWithWorkSkewHidesBarrierCost(t *testing.T) {
+	// With a large rotating straggler, slower algorithms hide behind
+	// the imbalance: the *relative* gap between SENSE and the optimized
+	// barrier must shrink versus the no-work case.
+	m := topology.Phytium2000()
+	opts := MeasureOptions{Episodes: 8}
+	senseBare := MustMeasure(m, 32, NewSense, opts)
+	optBare := MustMeasure(m, 32, Optimized, opts)
+	bareRatio := senseBare / optBare
+
+	work := SkewedWork(32, 200, 20000)
+	senseLoaded, _, err := MeasureWithWork(m, 32, NewSense, work, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optLoaded, _, err := MeasureWithWork(m, 32, Optimized, work, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedRatio := senseLoaded / optLoaded
+	if loadedRatio >= bareRatio {
+		t.Fatalf("imbalance did not compress the gap: bare %.2fx, loaded %.2fx", bareRatio, loadedRatio)
+	}
+	if loadedRatio > 1.6 {
+		t.Fatalf("under 20us stragglers the barrier choice should almost vanish, got %.2fx", loadedRatio)
+	}
+}
+
+func TestMeasureWithWorkValidation(t *testing.T) {
+	m := topology.Kunpeng920()
+	if _, _, err := MeasureWithWork(m, 8, Optimized, nil, MeasureOptions{}); err == nil {
+		t.Error("accepted nil work function")
+	}
+	if _, _, err := MeasureWithWork(m, 999, Optimized, UniformWork(1), MeasureOptions{}); err == nil {
+		t.Error("accepted too many threads")
+	}
+}
+
+func TestSkewedWorkRotates(t *testing.T) {
+	w := SkewedWork(4, 10, 100)
+	if w(0, 0) != 100 || w(0, 1) != 10 {
+		t.Fatal("episode 0 straggler wrong")
+	}
+	if w(3, 3) != 100 || w(3, 0) != 10 {
+		t.Fatal("episode 3 straggler wrong")
+	}
+}

@@ -1,0 +1,166 @@
+package algo
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+// Operation-count invariants: for several algorithms the exact number
+// of stores/atomics per episode is known analytically. Violations mean
+// an algorithm does more (or less) signalling than its specification.
+
+func perEpisode(t *testing.T, name string, threads int) Measurement {
+	t.Helper()
+	m := topology.Kunpeng920()
+	d, err := MeasureDetailed(m, threads, Registry[name], MeasureOptions{Warmup: 2, Episodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func expectPerEpisode(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Errorf("%s: %.2f per episode, want %.0f", name, got, want)
+	}
+}
+
+func TestSenseOpInvariants(t *testing.T) {
+	const P = 32
+	d := perEpisode(t, "sense", P)
+	// P atomics, plus the last arriver's two stores (counter reset +
+	// global sense).
+	expectPerEpisode(t, "sense atomics", d.OpsPerEpisode(d.Stats.Atomics), P)
+	expectPerEpisode(t, "sense stores", d.OpsPerEpisode(d.Stats.Stores), 2)
+}
+
+func TestDisseminationOpInvariants(t *testing.T) {
+	const P = 32 // rounds = 5
+	d := perEpisode(t, "dis", P)
+	expectPerEpisode(t, "dis stores", d.OpsPerEpisode(d.Stats.Stores), 32*5)
+	if d.Stats.Atomics != 0 {
+		t.Errorf("dis atomics = %d, want 0", d.Stats.Atomics)
+	}
+}
+
+func TestTournamentOpInvariants(t *testing.T) {
+	const P = 32
+	d := perEpisode(t, "tour", P)
+	// P-1 loser signals + 1 champion gsense store.
+	expectPerEpisode(t, "tour stores", d.OpsPerEpisode(d.Stats.Stores), float64(P))
+	if d.Stats.Atomics != 0 {
+		t.Errorf("tour atomics = %d, want 0", d.Stats.Atomics)
+	}
+}
+
+func TestMCSOpInvariants(t *testing.T) {
+	const P = 32
+	d := perEpisode(t, "mcs", P)
+	// P-1 arrival signals + P-1 wake-up stores.
+	expectPerEpisode(t, "mcs stores", d.OpsPerEpisode(d.Stats.Stores), float64(2*(P-1)))
+}
+
+func TestRingOpInvariants(t *testing.T) {
+	const P = 32
+	d := perEpisode(t, "ring", P)
+	// P arrival token stores + P release token stores.
+	expectPerEpisode(t, "ring stores", d.OpsPerEpisode(d.Stats.Stores), float64(2*P))
+}
+
+func TestHyperOpInvariants(t *testing.T) {
+	const P = 32
+	d := perEpisode(t, "hyper", P)
+	// P-1 arrival publishes + P-1 release stores (LLVM alias adds no
+	// memory traffic, only compute; use "hyper" directly).
+	expectPerEpisode(t, "hyper stores", d.OpsPerEpisode(d.Stats.Stores), float64(2*(P-1)))
+}
+
+func TestCMBOpInvariants(t *testing.T) {
+	const P = 32 // fan-in 2: levels of 32,16,8,4,2 counters
+	d := perEpisode(t, "cmb", P)
+	// Every thread fetch-adds once at level 0; winners continue: total
+	// atomics = 32+16+8+4+2 = 62. Stores: one reset per node (31) plus
+	// the champion's gsense = 32.
+	expectPerEpisode(t, "cmb atomics", d.OpsPerEpisode(d.Stats.Atomics), 62)
+	expectPerEpisode(t, "cmb stores", d.OpsPerEpisode(d.Stats.Stores), 32)
+}
+
+func TestOptimizedOpInvariants(t *testing.T) {
+	const P = 64
+	d := perEpisode(t, "optimized", P)
+	// Static 4-way arrival: 63 loser signals. Wake-up on Kunpeng920 is
+	// global (1 store). No atomics at all.
+	if d.Stats.Atomics != 0 {
+		t.Errorf("optimized atomics = %d, want 0", d.Stats.Atomics)
+	}
+	expectPerEpisode(t, "optimized stores", d.OpsPerEpisode(d.Stats.Stores), 64)
+}
+
+func TestStourPackedVsPaddedSameOpCounts(t *testing.T) {
+	// Padding changes the layout, never the algorithm: identical store
+	// counts, different cost.
+	m := topology.Phytium2000()
+	packed, err := MeasureDetailed(m, 64, STOUR, MeasureOptions{Warmup: 2, Episodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := MeasureDetailed(m, 64, STOURPadded, MeasureOptions{Warmup: 2, Episodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Stats.Stores != padded.Stats.Stores {
+		t.Errorf("store counts differ: packed %d, padded %d", packed.Stats.Stores, padded.Stats.Stores)
+	}
+	if packed.NsPerBarrier <= padded.NsPerBarrier {
+		t.Errorf("packed (%.0fns) not slower than padded (%.0fns)", packed.NsPerBarrier, padded.NsPerBarrier)
+	}
+}
+
+func TestSenseFutexPenalty(t *testing.T) {
+	// Passive waiters pay the kernel wake-up on top of the spin
+	// barrier's cost: at any scale the futex variant must cost at
+	// least the wake penalty more than the spinning one.
+	m := topology.Kunpeng920()
+	opts := MeasureOptions{Episodes: 6}
+	spin := MustMeasure(m, 16, NewSense, opts)
+	futex := MustMeasure(m, 16, NewSenseFutex, opts)
+	if futex < spin+futexWakePenaltyNs*0.9 {
+		t.Fatalf("futex variant %.0fns vs spin %.0fns: wake penalty missing", futex, spin)
+	}
+}
+
+func TestSensePackedFalseSharing(t *testing.T) {
+	// libgomp's packed counter+generation layout adds false sharing
+	// between arrivals and spinners; on the cluster-heavy machines it
+	// must cost more than the padded layout.
+	opts := MeasureOptions{Episodes: 8}
+	for _, m := range []*topology.Machine{topology.Phytium2000(), topology.Kunpeng920()} {
+		padded := MustMeasure(m, m.Cores, NewSense, opts)
+		packed := MustMeasure(m, m.Cores, NewSensePacked, opts)
+		if packed <= padded {
+			t.Errorf("%s: packed layout (%.0fns) not worse than padded (%.0fns)", m.Name, packed, padded)
+		}
+	}
+}
+
+func TestOverheadGrowsWithThreads(t *testing.T) {
+	// For the contention-bound algorithms, doubling the thread count
+	// must not make the barrier cheaper on any machine. (DIS is
+	// excluded: its round-count steps make near-boundary pairs
+	// legitimately non-monotone.)
+	opts := MeasureOptions{Episodes: 6}
+	for _, m := range topology.ARMMachines() {
+		for _, name := range []string{"sense", "cmb", "stour", "tour", "optimized"} {
+			prev := 0.0
+			for _, p := range []int{2, 4, 8, 16, 32, 64} {
+				got := MustMeasure(m, p, Registry[name], opts)
+				if got < prev*0.95 {
+					t.Errorf("%s/%s: overhead fell from %.0f to %.0f at P=%d", m.Name, name, prev, got, p)
+				}
+				prev = got
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package algo
+
+import (
+	"armbarrier/model"
+	"armbarrier/sim"
+)
+
+// MCS is the Mellor-Crummey–Scott tree barrier: a static 4-ary arrival
+// tree in which *every* thread is an internal node (thread i's arrival
+// children are 4i+1..4i+4), and a binary wake-up tree for the
+// Notification-Phase. Each thread's four child-arrival flags are packed
+// into one cacheline, the layout of the original algorithm, so the
+// paper finds MCS groups threads across core clusters and loses to the
+// tournament barriers at high thread counts.
+type MCS struct {
+	p int
+	// arrive[i] holds thread i's 4 child-arrival slots (one line).
+	arrive [][]sim.Addr
+	wake   []sim.Addr
+	// episode is per-thread local state.
+	episode []uint64
+}
+
+// NewMCS builds the MCS tree barrier.
+func NewMCS(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	m := &MCS{p: P, episode: make([]uint64, P)}
+	m.arrive = make([][]sim.Addr, P)
+	for i := 0; i < P; i++ {
+		// The four childnotready flags share the parent's line, as in
+		// the original "packed into one word" MCS design.
+		m.arrive[i] = k.AllocGrouped(4, 4)
+	}
+	m.wake = k.AllocPadded(P)
+	return m
+}
+
+// Name implements Barrier.
+func (m *MCS) Name() string { return "mcs" }
+
+// Wait implements Barrier.
+func (m *MCS) Wait(t *sim.Thread) {
+	id := t.ID()
+	sense := senseOf(m.episode[id])
+	m.episode[id]++
+	if m.p == 1 {
+		return
+	}
+	// Arrival: wait for my children in the 4-ary tree, then notify my
+	// parent. Sense-reversing flags avoid a re-initialization phase.
+	for j := 0; j < 4; j++ {
+		if child := 4*id + j + 1; child < m.p {
+			t.SpinUntilEqual(m.arrive[id][j], sense)
+		}
+	}
+	if id != 0 {
+		parent := (id - 1) / 4
+		slot := (id - 1) % 4
+		t.Store(m.arrive[parent][slot], sense)
+		// Wake-up: spin on my own padded flag...
+		t.SpinUntilEqual(m.wake[id], sense)
+	}
+	// ...then release my binary-tree children.
+	for _, c := range model.BinaryTreeChildren(id, m.p) {
+		t.Store(m.wake[c], sense)
+	}
+}

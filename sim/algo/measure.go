@@ -1,0 +1,203 @@
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+	"armbarrier/topology"
+)
+
+// Registry maps the algorithm names used in the paper's figures to
+// factories: the seven evaluated algorithms plus the GCC and LLVM
+// runtime barriers and the paper's optimized barrier.
+var Registry = map[string]Factory{
+	"sense":     NewSense,
+	"dis":       NewDissemination,
+	"cmb":       CMB,
+	"mcs":       NewMCS,
+	"tour":      NewTournament,
+	"stour":     STOUR,
+	"dtour":     DTOUR,
+	"gcc":       GCC,
+	"llvm":      LLVM,
+	"hyper":     NewHyper,
+	"optimized": Optimized,
+	// Related-work extensions (Section VII of the paper).
+	"ndis2":  NDis(2),
+	"hybrid": NewHybrid,
+	"ring":   NewRing,
+	// Passive-wait ablation (OMP_WAIT_POLICY=passive).
+	"sense-futex": NewSenseFutex,
+	// libgomp's packed counter+generation layout (false sharing).
+	"sense-packed": NewSensePacked,
+}
+
+// PaperAlgorithms lists the seven algorithms of Section IV-B in the
+// order the paper presents them.
+var PaperAlgorithms = []string{"sense", "dis", "cmb", "mcs", "tour", "stour", "dtour"}
+
+// ByName returns the registered factory for a name.
+func ByName(name string) (Factory, error) {
+	f, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown barrier %q", name)
+	}
+	return f, nil
+}
+
+// MeasureOptions configures Measure.
+type MeasureOptions struct {
+	// Warmup episodes run before timing starts (default 3). They fault
+	// the flag lines into the caches, matching the paper's assumption
+	// that synchronization variables are cache-resident.
+	Warmup int
+	// Episodes are the timed barrier repetitions (default 10).
+	Episodes int
+	// Placement overrides the compact thread pinning.
+	Placement topology.Placement
+}
+
+func (o *MeasureOptions) defaults(m *topology.Machine, threads int) error {
+	if o.Warmup == 0 {
+		o.Warmup = 3
+	}
+	if o.Episodes == 0 {
+		o.Episodes = 10
+	}
+	if o.Warmup < 0 || o.Episodes <= 0 {
+		return fmt.Errorf("algo: bad MeasureOptions %+v", *o)
+	}
+	if o.Placement == nil {
+		p, err := topology.Compact(m, threads)
+		if err != nil {
+			return err
+		}
+		o.Placement = p
+	}
+	if len(o.Placement) != threads {
+		return fmt.Errorf("algo: placement has %d threads, want %d", len(o.Placement), threads)
+	}
+	return nil
+}
+
+// Measurement is the result of a detailed simulated measurement.
+type Measurement struct {
+	// Name is the measured barrier's display name.
+	Name string
+	// NsPerBarrier is the average simulated nanoseconds per episode.
+	NsPerBarrier float64
+	// Episodes and Warmup are the timed and warm-up episode counts.
+	Episodes int
+	Warmup   int
+	// Stats aggregates the memory operations of the whole run
+	// (warm-up included) — the data behind the paper's Section III
+	// operation analysis.
+	Stats sim.Stats
+}
+
+// OpsPerEpisode returns a per-episode view of an operation counter.
+func (m Measurement) OpsPerEpisode(count uint64) float64 {
+	return float64(count) / float64(m.Episodes+m.Warmup)
+}
+
+// Measure runs the EPCC-style overhead measurement for one barrier
+// algorithm on the simulator: warm-up episodes followed by timed
+// episodes, returning the average simulated nanoseconds per barrier.
+// This is the number every figure of the paper plots (they report µs).
+func Measure(m *topology.Machine, threads int, factory Factory, opts MeasureOptions) (float64, error) {
+	d, err := MeasureDetailed(m, threads, factory, opts)
+	if err != nil {
+		return 0, err
+	}
+	return d.NsPerBarrier, nil
+}
+
+// MeasureDetailed is Measure plus the run's operation statistics.
+func MeasureDetailed(m *topology.Machine, threads int, factory Factory, opts MeasureOptions) (Measurement, error) {
+	if err := opts.defaults(m, threads); err != nil {
+		return Measurement{}, err
+	}
+	k, err := sim.New(sim.Config{Machine: m, Placement: opts.Placement})
+	if err != nil {
+		return Measurement{}, err
+	}
+	b := factory(k, threads)
+	warmEnd := make([]float64, threads)
+	k.Run(func(t *sim.Thread) {
+		for e := 0; e < opts.Warmup; e++ {
+			b.Wait(t)
+		}
+		warmEnd[t.ID()] = t.Now()
+		for e := 0; e < opts.Episodes; e++ {
+			b.Wait(t)
+		}
+	})
+	start := 0.0
+	for _, w := range warmEnd {
+		if w > start {
+			start = w
+		}
+	}
+	total := k.MaxTime() - start
+	if total < 0 {
+		return Measurement{}, fmt.Errorf("algo: negative measured time for %s", b.Name())
+	}
+	return Measurement{
+		Name:         b.Name(),
+		NsPerBarrier: total / float64(opts.Episodes),
+		Episodes:     opts.Episodes,
+		Warmup:       opts.Warmup,
+		Stats:        k.Stats(),
+	}, nil
+}
+
+// MustMeasure is Measure for known-good configurations; it panics on
+// error. Experiment drivers use it after validating inputs once.
+func MustMeasure(m *topology.Machine, threads int, factory Factory, opts MeasureOptions) float64 {
+	v, err := Measure(m, threads, factory, opts)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// VerifyRounds runs `episodes` barrier episodes with a per-thread
+// counter protocol and reports an error if the barrier ever lets a
+// thread pass while a peer lags an episode behind — the correctness
+// property every barrier must provide. It is used by tests for every
+// algorithm and doubles as an executable specification.
+func VerifyRounds(m *topology.Machine, threads, episodes int, factory Factory, place topology.Placement) error {
+	if place == nil {
+		var err error
+		place, err = topology.Compact(m, threads)
+		if err != nil {
+			return err
+		}
+	}
+	k, err := sim.New(sim.Config{Machine: m, Placement: place})
+	if err != nil {
+		return err
+	}
+	b := factory(k, threads)
+	// progress[i] is thread i's completed episode count. It is plain
+	// host memory: the simulator's sequential execution makes it safe,
+	// and the barrier's ordering makes the assertions meaningful.
+	progress := make([]int, threads)
+	var violation error
+	k.Run(func(t *sim.Thread) {
+		id := t.ID()
+		for e := 0; e < episodes; e++ {
+			progress[id] = e
+			b.Wait(t)
+			// After the barrier, every peer must have reached episode
+			// e: nobody may still be at e-1 or earlier.
+			for p := 0; p < threads; p++ {
+				if progress[p] < e && violation == nil {
+					violation = fmt.Errorf("%s: thread %d passed episode %d while thread %d was at %d",
+						b.Name(), id, e, p, progress[p])
+				}
+			}
+		}
+	})
+	return violation
+}

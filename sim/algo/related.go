@@ -1,0 +1,259 @@
+package algo
+
+import (
+	"fmt"
+
+	"armbarrier/sim"
+)
+
+// This file implements the related-work algorithms the paper discusses
+// in Section VII, as extension baselines beyond the seven evaluated
+// ones: the n-way dissemination barrier of Hoefler et al., the hybrid
+// (centralized-within-cluster, dissemination-across) barrier of
+// Rodchenko et al., and a ring barrier in the spirit of Aravind's
+// minimal-remote-reference design.
+
+// NWayDissemination generalizes the dissemination barrier: in round j
+// every thread signals n partners at strides m·(n+1)^j, so only
+// ceil(log_{n+1} P) rounds are needed. Hoefler et al. proposed it to
+// exploit hardware parallelism in the interconnect.
+type NWayDissemination struct {
+	p      int
+	n      int
+	rounds int
+	// flags[parity][round][thread*n + slot], each on its own line.
+	flags [2][][]sim.Addr
+	// Per-thread local state.
+	parity  []int
+	sense   []uint64
+	episode []uint64
+}
+
+// NewNWayDissemination builds the n-way dissemination barrier.
+func NewNWayDissemination(k *sim.Kernel, P, n int) Barrier {
+	checkThreads(k, P)
+	if n < 1 {
+		panic(fmt.Sprintf("algo: n-way dissemination with n=%d", n))
+	}
+	rounds := 0
+	for span := 1; span < P; span *= n + 1 {
+		rounds++
+	}
+	d := &NWayDissemination{
+		p:       P,
+		n:       n,
+		rounds:  rounds,
+		parity:  make([]int, P),
+		sense:   make([]uint64, P),
+		episode: make([]uint64, P),
+	}
+	for i := range d.sense {
+		d.sense[i] = 1
+	}
+	for par := 0; par < 2; par++ {
+		d.flags[par] = make([][]sim.Addr, rounds)
+		for r := 0; r < rounds; r++ {
+			d.flags[par][r] = k.AllocPadded(P * n)
+		}
+	}
+	return d
+}
+
+// NDis returns a factory for the n-way dissemination barrier.
+func NDis(n int) Factory {
+	return func(k *sim.Kernel, P int) Barrier { return NewNWayDissemination(k, P, n) }
+}
+
+// Name implements Barrier.
+func (d *NWayDissemination) Name() string { return fmt.Sprintf("ndis%d", d.n) }
+
+// Wait implements Barrier.
+func (d *NWayDissemination) Wait(t *sim.Thread) {
+	id := t.ID()
+	d.episode[id]++
+	if d.p == 1 {
+		return
+	}
+	par, sense := d.parity[id], d.sense[id]
+	span := 1
+	for r := 0; r < d.rounds; r++ {
+		// Signal my n forward partners' slots...
+		for m := 1; m <= d.n; m++ {
+			partner := (id + m*span) % d.p
+			t.Store(d.flags[par][r][partner*d.n+(m-1)], sense)
+		}
+		// ...and collect from my n backward partners.
+		for m := 1; m <= d.n; m++ {
+			t.SpinUntilEqual(d.flags[par][r][id*d.n+(m-1)], sense)
+		}
+		span *= d.n + 1
+	}
+	if par == 1 {
+		d.sense[id] = 1 - sense
+	}
+	d.parity[id] = 1 - par
+}
+
+// Hybrid is the Rodchenko-style two-level barrier: a sense-reversing
+// centralized barrier within each core cluster (cheap, contention
+// stays on the cluster-local fabric) and a dissemination barrier among
+// the clusters' last arrivers.
+type Hybrid struct {
+	p        int
+	clusters int
+	// members[c] lists thread IDs in cluster c (by placement).
+	members [][]int
+	cluster []int // thread -> cluster index (dense)
+	// Per-cluster arrival counter and release flag, each padded.
+	counter []sim.Addr
+	release []sim.Addr
+	// Dissemination flags among cluster representatives:
+	// flags[parity][round][cluster].
+	rounds int
+	flags  [2][][]sim.Addr
+	// Per-CLUSTER dissemination parity/sense (shared by whoever
+	// represents the cluster — safe because exactly one representative
+	// exists per episode and episodes are barrier-ordered).
+	repParity []int
+	repSense  []uint64
+	episode   []uint64
+}
+
+// NewHybrid builds the hybrid barrier from the kernel's machine and
+// placement: threads pinned to the same logical cluster share a
+// counter.
+func NewHybrid(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	m := k.Machine()
+	place := k.Placement()
+	// Dense cluster renumbering over the clusters actually used.
+	idx := map[int]int{}
+	var members [][]int
+	cluster := make([]int, P)
+	for id := 0; id < P; id++ {
+		cl := m.ClusterOf(place[id])
+		d, ok := idx[cl]
+		if !ok {
+			d = len(members)
+			idx[cl] = d
+			members = append(members, nil)
+		}
+		members[d] = append(members[d], id)
+		cluster[id] = d
+	}
+	h := &Hybrid{
+		p:        P,
+		clusters: len(members),
+		members:  members,
+		cluster:  cluster,
+		counter:  k.AllocPadded(len(members)),
+		release:  k.AllocPadded(len(members)),
+		episode:  make([]uint64, P),
+	}
+	for span := 1; span < h.clusters; span *= 2 {
+		h.rounds++
+	}
+	for par := 0; par < 2; par++ {
+		h.flags[par] = make([][]sim.Addr, h.rounds)
+		for r := 0; r < h.rounds; r++ {
+			h.flags[par][r] = k.AllocPadded(h.clusters)
+		}
+	}
+	h.repParity = make([]int, h.clusters)
+	h.repSense = make([]uint64, h.clusters)
+	for c := range h.repSense {
+		h.repSense[c] = 1
+	}
+	return h
+}
+
+// Name implements Barrier.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Wait implements Barrier.
+func (h *Hybrid) Wait(t *sim.Thread) {
+	id := t.ID()
+	mySense := senseOf(h.episode[id])
+	h.episode[id]++
+	if h.p == 1 {
+		return
+	}
+	c := h.cluster[id]
+	size := len(h.members[c])
+	if size > 1 {
+		if pos := t.FetchAdd(h.counter[c], 1); pos != uint64(size-1) {
+			// Not the cluster's last arriver: wait for the cluster
+			// release.
+			t.SpinUntilEqual(h.release[c], mySense)
+			return
+		}
+		t.Store(h.counter[c], 0)
+	}
+	// Cluster representative: dissemination across clusters.
+	if h.clusters > 1 {
+		par, sense := h.repParity[c], h.repSense[c]
+		span := 1
+		for r := 0; r < h.rounds; r++ {
+			partner := (c + span) % h.clusters
+			t.Store(h.flags[par][r][partner], sense)
+			t.SpinUntilEqual(h.flags[par][r][c], sense)
+			span *= 2
+		}
+		if par == 1 {
+			h.repSense[c] = 1 - sense
+		}
+		h.repParity[c] = 1 - par
+	}
+	// Release my cluster.
+	t.Store(h.release[c], mySense)
+}
+
+// Ring is a token-ring barrier in the spirit of Aravind's design:
+// every communication is with the ring neighbour, so with a compact
+// placement almost all signalling stays within a cluster at the price
+// of an O(P) critical path.
+type Ring struct {
+	p       int
+	arrive  []sim.Addr
+	release []sim.Addr
+	episode []uint64
+}
+
+// NewRing builds the ring barrier.
+func NewRing(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	return &Ring{
+		p:       P,
+		arrive:  k.AllocPadded(P),
+		release: k.AllocPadded(P),
+		episode: make([]uint64, P),
+	}
+}
+
+// Name implements Barrier.
+func (r *Ring) Name() string { return "ring" }
+
+// Wait implements Barrier.
+func (r *Ring) Wait(t *sim.Thread) {
+	id := t.ID()
+	sense := senseOf(r.episode[id])
+	r.episode[id]++
+	if r.p == 1 {
+		return
+	}
+	// Arrival token travels 0 -> 1 -> ... -> P-1.
+	if id == 0 {
+		t.Store(r.arrive[0], sense)
+	} else {
+		t.SpinUntilEqual(r.arrive[id-1], sense)
+		t.Store(r.arrive[id], sense)
+	}
+	// Thread P-1's arrival store completes the gather; it starts the
+	// release token.
+	if id == r.p-1 {
+		t.Store(r.release[id], sense)
+		return
+	}
+	t.SpinUntilEqual(r.release[id+1], sense)
+	t.Store(r.release[id], sense)
+}

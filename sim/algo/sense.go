@@ -1,0 +1,127 @@
+package algo
+
+import (
+	"armbarrier/sim"
+)
+
+// Sense is the sense-reversing centralized barrier (SENSE): one shared
+// atomic counter for the Arrival-Phase and one global sense flag for
+// the Notification-Phase. This is the algorithm GNU libgomp implements,
+// and the paper's Figure 7(a) shows it scaling linearly (badly) on all
+// three ARMv8 machines because every thread read-modify-writes the same
+// cacheline.
+type Sense struct {
+	p       int
+	counter sim.Addr
+	gsense  sim.Addr
+	episode []uint64
+}
+
+// NewSense builds the centralized barrier. The counter and the global
+// sense each occupy their own cacheline.
+func NewSense(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	return &Sense{
+		p:       P,
+		counter: k.AllocPadded(1)[0],
+		gsense:  k.AllocPadded(1)[0],
+		episode: make([]uint64, P),
+	}
+}
+
+// NewSensePacked builds the centralized barrier with the counter and
+// the global sense on the SAME cacheline — the layout of libgomp's
+// `gomp_barrier_t`, whose awaited counter and generation field are
+// adjacent struct members. Every arrival's atomic then invalidates the
+// line all waiters are spinning on, so each arrival re-pulls P-1
+// spinning readers: an instructive false-sharing ablation on top of
+// SENSE.
+func NewSensePacked(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	both := k.Alloc(2) // one line
+	return namedBarrier{name: "sense-packed", Barrier: &Sense{
+		p:       P,
+		counter: both[0],
+		gsense:  both[1],
+		episode: make([]uint64, P),
+	}}
+}
+
+// Name implements Barrier.
+func (s *Sense) Name() string { return "sense" }
+
+// Wait implements Barrier.
+func (s *Sense) Wait(t *sim.Thread) {
+	id := t.ID()
+	mySense := senseOf(s.episode[id])
+	s.episode[id]++
+	if s.p == 1 {
+		return
+	}
+	if pos := t.FetchAdd(s.counter, 1); pos == uint64(s.p-1) {
+		// Last arriver: reset the counter and release everyone.
+		t.Store(s.counter, 0)
+		t.Store(s.gsense, mySense)
+		return
+	}
+	t.SpinUntilEqual(s.gsense, mySense)
+}
+
+// GCC is the libgomp barrier: the paper identifies it as the
+// sense-reversing centralized algorithm, so it shares the Sense
+// implementation under the name the figures use.
+func GCC(k *sim.Kernel, P int) Barrier {
+	b := NewSense(k, P).(*Sense)
+	return namedBarrier{Barrier: b, name: "gcc"}
+}
+
+// futexWakePenaltyNs approximates the cost of waking a thread that
+// gave up spinning and slept in the kernel (futex wait): syscall exit,
+// scheduler dispatch and cache refill. Representative Linux numbers
+// run to a few microseconds.
+const futexWakePenaltyNs = 2500
+
+// SenseFutex is the centralized barrier under a passive wait policy
+// (OMP_WAIT_POLICY=passive): waiters sleep instead of spinning and pay
+// a kernel wake-up penalty when released. It is an ablation showing
+// why fine-grained barriers spin: the release costs P-1 scheduler
+// wake-ups instead of P-1 cacheline reads.
+type SenseFutex struct {
+	inner *Sense
+}
+
+// NewSenseFutex builds the passive-wait centralized barrier.
+func NewSenseFutex(k *sim.Kernel, P int) Barrier {
+	return &SenseFutex{inner: NewSense(k, P).(*Sense)}
+}
+
+// Name implements Barrier.
+func (s *SenseFutex) Name() string { return "sense-futex" }
+
+// Wait implements Barrier.
+func (s *SenseFutex) Wait(t *sim.Thread) {
+	in := s.inner
+	id := t.ID()
+	mySense := senseOf(in.episode[id])
+	in.episode[id]++
+	if in.p == 1 {
+		return
+	}
+	if pos := t.FetchAdd(in.counter, 1); pos == uint64(in.p-1) {
+		t.Store(in.counter, 0)
+		t.Store(in.gsense, mySense)
+		return
+	}
+	t.SpinUntilEqual(in.gsense, mySense)
+	// The waiter slept in the kernel; charge the wake-up path.
+	t.Compute(futexWakePenaltyNs)
+}
+
+// namedBarrier overrides an algorithm's display name for runtime
+// aliases like "gcc" and "llvm".
+type namedBarrier struct {
+	Barrier
+	name string
+}
+
+func (n namedBarrier) Name() string { return n.name }

@@ -1,0 +1,64 @@
+package algo
+
+import (
+	"armbarrier/model"
+	"armbarrier/sim"
+)
+
+// Tournament is the Hensgen–Finkel–Manber tournament barrier (TOUR):
+// pairwise rounds in which the statically-determined winner (the lower
+// thread) waits for the loser's signal and advances; the champion
+// (thread 0) flips a global sense to release everyone. It is a static
+// combined tree with fan-in 2 and global wake-up.
+type Tournament struct {
+	p      int
+	rounds int
+	// flags[r][i]: the round-r arrival flag of winner i, written by its
+	// round-r loser. Each flag on its own line.
+	flags  [][]sim.Addr
+	gsense sim.Addr
+	// episode is per-thread local state.
+	episode []uint64
+}
+
+// NewTournament builds the tournament barrier.
+func NewTournament(k *sim.Kernel, P int) Barrier {
+	checkThreads(k, P)
+	tb := &Tournament{p: P, rounds: model.DisseminationRounds(P), gsense: k.AllocPadded(1)[0], episode: make([]uint64, P)}
+	tb.flags = make([][]sim.Addr, tb.rounds)
+	for r := range tb.flags {
+		tb.flags[r] = k.AllocPadded(P)
+	}
+	return tb
+}
+
+// Name implements Barrier.
+func (tb *Tournament) Name() string { return "tour" }
+
+// Wait implements Barrier.
+func (tb *Tournament) Wait(t *sim.Thread) {
+	id := t.ID()
+	sense := senseOf(tb.episode[id])
+	tb.episode[id]++
+	if tb.p == 1 {
+		return
+	}
+	stride := 1
+	for r := 0; r < tb.rounds; r++ {
+		if id%(2*stride) != 0 {
+			// Loser of this round: signal the winner, then wait for
+			// the champion's release.
+			winner := id - stride
+			t.Store(tb.flags[r][winner], sense)
+			t.SpinUntilEqual(tb.gsense, sense)
+			return
+		}
+		// Winner: wait for the loser if one exists.
+		if loser := id + stride; loser < tb.p {
+			t.SpinUntilEqual(tb.flags[r][id], sense)
+		}
+		stride *= 2
+	}
+	// Champion.
+	t.Store(tb.gsense, sense)
+}

@@ -1,0 +1,103 @@
+package algo
+
+import (
+	"armbarrier/model"
+	"armbarrier/sim"
+)
+
+// WakeupKind selects the Notification-Phase strategy of a tournament-
+// style barrier (Section V-C).
+type WakeupKind int
+
+const (
+	// WakeGlobal is the global-sense broadcast (Equation 3): the
+	// champion writes one shared flag that every thread polls.
+	WakeGlobal WakeupKind = iota
+	// WakeBinaryTree propagates the release down the classic binary
+	// tree (Equation 4): node n wakes 2n+1 and 2n+2.
+	WakeBinaryTree
+	// WakeNUMATree uses the paper's NUMA-aware tree (Equation 5):
+	// cluster masters wake two other masters plus their local slaves.
+	WakeNUMATree
+)
+
+func (w WakeupKind) String() string {
+	switch w {
+	case WakeGlobal:
+		return "global"
+	case WakeBinaryTree:
+		return "bintree"
+	case WakeNUMATree:
+		return "numatree"
+	}
+	return "wakeup?"
+}
+
+// wakeup is the Notification-Phase implementation shared by the
+// tournament-family barriers. The champion (rank 0 for tree wake-ups)
+// calls signal; every other thread calls wait.
+type wakeup interface {
+	// signal releases all threads. rank is the champion's rank.
+	signal(t *sim.Thread, rank int, sense uint64)
+	// wait blocks the thread of the given rank until released, then
+	// forwards the release to its subtree if the strategy has one.
+	wait(t *sim.Thread, rank int, sense uint64)
+}
+
+// newWakeup builds the strategy. ranks gives the number of
+// participants; Nc is the machine's cluster size (used by the NUMA
+// tree). Threads are identified by rank: each thread spins on its own
+// rank's flag, so barriers that reorder threads cluster-major simply
+// pass ranks instead of thread IDs.
+func newWakeup(k *sim.Kernel, kind WakeupKind, ranks int, Nc int) wakeup {
+	switch kind {
+	case WakeGlobal:
+		return &globalWakeup{gsense: k.AllocPadded(1)[0]}
+	case WakeBinaryTree:
+		return &treeWakeup{
+			flags:    k.AllocPadded(ranks),
+			children: func(n int) []int { return model.BinaryTreeChildren(n, ranks) },
+		}
+	case WakeNUMATree:
+		return &treeWakeup{
+			flags:    k.AllocPadded(ranks),
+			children: func(n int) []int { return model.NUMATreeChildren(n, ranks, Nc) },
+		}
+	}
+	panic("algo: unknown wakeup kind")
+}
+
+type globalWakeup struct {
+	gsense sim.Addr
+}
+
+func (g *globalWakeup) signal(t *sim.Thread, rank int, sense uint64) {
+	t.Store(g.gsense, sense)
+}
+
+func (g *globalWakeup) wait(t *sim.Thread, rank int, sense uint64) {
+	t.SpinUntilEqual(g.gsense, sense)
+}
+
+type treeWakeup struct {
+	flags    []sim.Addr // one padded wake flag per rank
+	children func(n int) []int
+}
+
+func (w *treeWakeup) signal(t *sim.Thread, rank int, sense uint64) {
+	if rank != 0 {
+		panic("algo: tree wake-up requires the champion to be rank 0")
+	}
+	w.fanOut(t, 0, sense)
+}
+
+func (w *treeWakeup) wait(t *sim.Thread, rank int, sense uint64) {
+	t.SpinUntilEqual(w.flags[rank], sense)
+	w.fanOut(t, rank, sense)
+}
+
+func (w *treeWakeup) fanOut(t *sim.Thread, rank int, sense uint64) {
+	for _, c := range w.children(rank) {
+		t.Store(w.flags[c], sense)
+	}
+}

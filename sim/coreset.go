@@ -1,0 +1,49 @@
+package sim
+
+import "math/bits"
+
+// coreSet is a bitset over core IDs, used for each cacheline's sharer
+// vector. It is sized once for the machine and mutated in place.
+type coreSet struct {
+	words []uint64
+}
+
+func newCoreSet(cores int) coreSet {
+	return coreSet{words: make([]uint64, (cores+63)/64)}
+}
+
+func (s coreSet) has(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (s coreSet) add(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func (s coreSet) remove(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+func (s coreSet) clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s coreSet) count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits set members in ascending order.
+func (s coreSet) forEach(f func(core int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			f(base + bits.TrailingZeros64(w))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreSetBasics(t *testing.T) {
+	s := newCoreSet(130)
+	for _, c := range []int{0, 63, 64, 129} {
+		if s.has(c) {
+			t.Fatalf("fresh set has %d", c)
+		}
+		s.add(c)
+		if !s.has(c) {
+			t.Fatalf("set missing %d after add", c)
+		}
+	}
+	if got := s.count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	s.remove(64)
+	if s.has(64) || s.count() != 3 {
+		t.Fatalf("remove failed: count=%d", s.count())
+	}
+	var visited []int
+	s.forEach(func(c int) { visited = append(visited, c) })
+	if len(visited) != 3 || visited[0] != 0 || visited[1] != 63 || visited[2] != 129 {
+		t.Fatalf("forEach order = %v", visited)
+	}
+	s.clear()
+	if s.count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// Property: add/remove sequences behave like a map-based set.
+func TestQuickCoreSetMatchesMap(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := newCoreSet(128)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			c := int(op) % 128
+			if op%2 == 0 {
+				s.add(c)
+				ref[c] = true
+			} else {
+				s.remove(c)
+				delete(ref, c)
+			}
+		}
+		if s.count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.forEach(func(c int) {
+			if !ref[c] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

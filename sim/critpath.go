@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CriticalPath reconstructs the dependency chain that determined the
+// recorded run's completion time, using the BlockedBy edges the kernel
+// stamps on events (line-write queueing, interconnect queueing, and
+// spin wake-ups) plus program order within a thread.
+//
+// The result attributes the makespan to categories — a direct answer
+// to "where does this barrier spend its time on this machine".
+type CriticalPath struct {
+	// Ops is the chain from first to last operation.
+	Ops []Event
+	// StartNs and EndNs bound the path in virtual time.
+	StartNs, EndNs float64
+	// LocalNs, RemoteNs are operation work (cost minus queueing) on
+	// the path split by locality; IdleNs is the remaining span —
+	// compute time and gaps between dependent operations.
+	LocalNs  float64
+	RemoteNs float64
+	IdleNs   float64
+	// CrossThreadHops counts dependency edges that change threads.
+	CrossThreadHops int
+}
+
+// TotalNs returns the path's span (EndNs - StartNs).
+func (c CriticalPath) TotalNs() float64 { return c.EndNs - c.StartNs }
+
+// String summarizes the attribution.
+func (c CriticalPath) String() string {
+	total := c.TotalNs()
+	if total == 0 {
+		return "empty critical path"
+	}
+	return fmt.Sprintf("critical path %.0f ns over %d ops (%d thread hops): %.0f%% remote ops, %.0f%% local ops, %.0f%% idle/compute",
+		total, len(c.Ops), c.CrossThreadHops,
+		100*c.RemoteNs/total, 100*c.LocalNs/total, 100*c.IdleNs/total)
+}
+
+// CriticalPath computes the chain ending at the operation that
+// finishes last. It returns an error when no events were recorded.
+func (r *Recorder) CriticalPath() (CriticalPath, error) {
+	if r.Len() == 0 {
+		return CriticalPath{}, fmt.Errorf("sim: no events recorded")
+	}
+	bySeq := make(map[int]Event, r.Len())
+	// prevInThread[i] = index in r.events of thread i's previous op.
+	lastOfThread := map[int]int{}
+	prevIdx := make([]int, len(r.events))
+	for i, e := range r.events {
+		prevIdx[i] = -1
+		if e.Seq >= 0 {
+			bySeq[e.Seq] = e
+		}
+		if e.Kind == OpWake {
+			continue
+		}
+		if j, ok := lastOfThread[e.Thread]; ok {
+			prevIdx[i] = j
+		}
+		lastOfThread[e.Thread] = i
+	}
+	// Find the op that completes last.
+	endIdx, endTime := -1, -1.0
+	for i, e := range r.events {
+		if e.Kind == OpWake {
+			continue
+		}
+		if end := e.Time + e.Cost; end > endTime {
+			endTime = end
+			endIdx = i
+		}
+	}
+	if endIdx < 0 {
+		return CriticalPath{}, fmt.Errorf("sim: only wake events recorded")
+	}
+	// indexBySeq maps a seq to its position in r.events for jumps.
+	indexBySeq := make(map[int]int, len(bySeq))
+	for i, e := range r.events {
+		if e.Kind != OpWake && e.Seq >= 0 {
+			indexBySeq[e.Seq] = i
+		}
+	}
+
+	var chain []Event
+	cp := CriticalPath{EndNs: endTime}
+	cur := endIdx
+	for steps := 0; cur >= 0 && steps <= len(r.events); steps++ {
+		e := r.events[cur]
+		chain = append(chain, e)
+		cp.StartNs = e.Time
+
+		// Follow the predecessor whose completion actually bound this
+		// op's start: the blocking op or the thread's previous op,
+		// whichever finished later.
+		completion := func(i int) float64 {
+			return r.events[i].Time + r.events[i].Cost
+		}
+		candBlock := -1
+		if e.BlockedBy >= 0 {
+			if j, ok := indexBySeq[e.BlockedBy]; ok {
+				candBlock = j
+			}
+		}
+		candProg := prevIdx[cur]
+		next := -1
+		switch {
+		case candBlock >= 0 && candProg >= 0:
+			if completion(candBlock) >= completion(candProg) {
+				next = candBlock
+			} else {
+				next = candProg
+			}
+		case candBlock >= 0:
+			next = candBlock
+		default:
+			next = candProg
+		}
+		if next >= 0 && r.events[next].Thread != e.Thread {
+			cp.CrossThreadHops++
+		}
+		cur = next
+	}
+	// Reverse into execution order and attribute work without double
+	// counting: ops on the chain may overlap slightly (a line frees at
+	// ownership-transfer time while the writer's invalidation tail is
+	// still in flight), so sweep forward clipping each op's work
+	// interval [Time+QueueNs, Time+Cost] against what is already
+	// covered.
+	sort.SliceStable(chain, func(a, b int) bool { return chain[a].Time < chain[b].Time })
+	coveredUntil := cp.StartNs
+	for _, e := range chain {
+		workStart := e.Time + e.QueueNs
+		workEnd := e.Time + e.Cost
+		if workStart < coveredUntil {
+			workStart = coveredUntil
+		}
+		if dur := workEnd - workStart; dur > 0 {
+			if e.Remote {
+				cp.RemoteNs += dur
+			} else {
+				cp.LocalNs += dur
+			}
+			coveredUntil = workEnd
+		}
+	}
+	// The remaining span is compute and dependency gaps.
+	cp.IdleNs = (cp.EndNs - cp.StartNs) - cp.LocalNs - cp.RemoteNs
+	if cp.IdleNs < 0 {
+		cp.IdleNs = 0
+	}
+	cp.Ops = chain
+	return cp, nil
+}
+
+// FormatCriticalPath renders the path as an indented op list for
+// cmd/barriertrace.
+func FormatCriticalPath(cp CriticalPath) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", cp.String())
+	for _, e := range cp.Ops {
+		marker := " "
+		if e.Remote {
+			marker = "R"
+		}
+		block := ""
+		if e.Block != "" {
+			block = " <- " + e.Block
+		}
+		fmt.Fprintf(&b, "  %9.2f  t%02d %-6s %s addr=%-4d cost=%7.2f%s\n",
+			e.Time, e.Thread, e.Kind, marker, e.Addr, e.Cost, block)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestCriticalPathProducerConsumer(t *testing.T) {
+	// Consumer waits for the producer's store: the path must include
+	// the wake edge and span both threads.
+	m := topology.ThunderX2()
+	place, _ := topology.Custom(m, []int{0, 32})
+	rec := &Recorder{}
+	k, err := New(Config{Machine: m, Placement: place, Trace: rec.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k.AllocPadded(1)[0]
+	k.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			th.Compute(300)
+			th.Store(a, 1)
+		} else {
+			th.SpinUntilEqual(a, 1)
+		}
+	})
+	cp, err := rec.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.CrossThreadHops == 0 {
+		t.Fatalf("no cross-thread hops on a producer/consumer path: %s", cp.String())
+	}
+	// The path must originate at the producer's store (after its 300ns
+	// compute), not at the consumer's early poll.
+	if cp.Ops[0].Thread != 0 || cp.StartNs < 300 {
+		t.Fatalf("path start wrong: thread %d at %.1f", cp.Ops[0].Thread, cp.StartNs)
+	}
+	// The consumer's final remote reload must be on the path.
+	if cp.RemoteNs < 140 {
+		t.Fatalf("remote cost %.1f missing the cross-socket pull", cp.RemoteNs)
+	}
+	if !strings.Contains(FormatCriticalPath(cp), "wake") {
+		t.Fatalf("formatted path missing the wake edge:\n%s", FormatCriticalPath(cp))
+	}
+}
+
+func TestCriticalPathQueuedStores(t *testing.T) {
+	// Two writers to one line: the later writer's path must include the
+	// earlier writer via the "line" edge.
+	m := topology.Kunpeng920()
+	place, _ := topology.Custom(m, []int{0, 4})
+	rec := &Recorder{}
+	k, err := New(Config{Machine: m, Placement: place, Trace: rec.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k.Alloc(2) // shared line
+	k.Run(func(th *Thread) {
+		// Warm ownership on thread 0's side, then collide.
+		if th.ID() == 0 {
+			th.Store(a[0], 1)
+			th.Store(a[0], 2)
+		} else {
+			th.Store(a[1], 1)
+			th.Store(a[1], 2)
+		}
+	})
+	cp, err := rec.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLineEdge := false
+	for _, e := range cp.Ops {
+		if e.Block == "line" {
+			foundLineEdge = true
+		}
+	}
+	if !foundLineEdge {
+		t.Fatalf("no line-queue edge on the path:\n%s", FormatCriticalPath(cp))
+	}
+}
+
+func TestCriticalPathEmptyRecorder(t *testing.T) {
+	rec := &Recorder{}
+	if _, err := rec.CriticalPath(); err == nil {
+		t.Fatal("empty recorder produced a path")
+	}
+}
+
+func TestCriticalPathSpansMakespan(t *testing.T) {
+	// Path total must be close to the run's makespan (it is the chain
+	// that *determines* it).
+	m := topology.Phytium2000()
+	place, _ := topology.Compact(m, 8)
+	rec := &Recorder{}
+	k, err := New(Config{Machine: m, Placement: place, Trace: rec.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.AllocPadded(1)[0]
+	g := k.AllocPadded(1)[0]
+	k.Run(func(th *Thread) {
+		if th.FetchAdd(c, 1) == 7 {
+			th.Store(g, 1)
+		} else {
+			th.SpinUntilEqual(g, 1)
+		}
+	})
+	cp, err := rec.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := k.MaxTime()
+	if ratio := cp.TotalNs() / makespan; ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("path %.1f vs makespan %.1f (ratio %.2f)", cp.TotalNs(), makespan, ratio)
+	}
+}
+
+func TestCriticalPathString(t *testing.T) {
+	if got := (CriticalPath{}).String(); got != "empty critical path" {
+		t.Fatalf("empty path string = %q", got)
+	}
+}

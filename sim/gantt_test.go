@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestGanttRendersLanes(t *testing.T) {
+	rec := recordedRun(t)
+	out := rec.Gantt(2, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + two lanes
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "t00 |") || !strings.HasPrefix(lines[2], "t01 |") {
+		t.Fatalf("lane prefixes wrong:\n%s", out)
+	}
+	// Thread 1's cross-socket load must appear as a remote glyph.
+	if !strings.ContainsAny(lines[2], "LA") {
+		t.Fatalf("no remote ops in consumer lane:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	rec := &Recorder{}
+	if out := rec.Gantt(4, 10); !strings.Contains(out, "no events") {
+		t.Fatalf("empty gantt = %q", out)
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	rec := recordedRun(t)
+	out := rec.Gantt(2, 0)
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) < 70 {
+		t.Fatalf("default width not applied: %d chars", len(lines[1]))
+	}
+}
+
+func TestRecorderEventsAccessor(t *testing.T) {
+	rec := recordedRun(t)
+	evs := rec.Events()
+	if len(evs) != rec.Len() {
+		t.Fatalf("Events() returned %d of %d", len(evs), rec.Len())
+	}
+}
+
+func TestKernelPlacementAccessor(t *testing.T) {
+	m := topology.ThunderX2()
+	place, _ := topology.Custom(m, []int{3, 40})
+	k, err := New(Config{Machine: m, Placement: place})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.Placement()
+	if len(got) != 2 || got[0] != 3 || got[1] != 40 {
+		t.Fatalf("Placement() = %v", got)
+	}
+}
+
+func TestAllocGroupedIntermediate(t *testing.T) {
+	m := topology.ThunderX2()
+	k := newTestKernel(t, m, 1)
+	addrs := k.AllocGrouped(8, 2) // pairs share lines
+	if k.LineOf(addrs[0]) != k.LineOf(addrs[1]) {
+		t.Fatal("pair 0-1 should share a line")
+	}
+	if k.LineOf(addrs[1]) == k.LineOf(addrs[2]) {
+		t.Fatal("pair boundary should split lines")
+	}
+}

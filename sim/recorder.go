@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Recorder collects simulator events for post-run analysis: per-thread
+// operation counts, time-ordered dumps and JSON export. Attach it via
+// Config.Trace:
+//
+//	rec := &sim.Recorder{}
+//	k, _ := sim.New(sim.Config{Machine: m, Placement: p, Trace: rec.Record})
+type Recorder struct {
+	events []Event
+}
+
+// Record appends an event; pass it as Config.Trace.
+func (r *Recorder) Record(e Event) {
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events in emission order. The returned
+// slice is owned by the recorder; do not modify it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// ByThread returns the events of one thread in emission order.
+func (r *Recorder) ByThread(thread int) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Thread == thread {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Between returns events with start time in [from, to), sorted by
+// (time, thread).
+func (r *Recorder) Between(from, to float64) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Time >= from && e.Time < to {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Time != out[b].Time {
+			return out[a].Time < out[b].Time
+		}
+		return out[a].Thread < out[b].Thread
+	})
+	return out
+}
+
+// OpCount tallies events by kind.
+func (r *Recorder) OpCount() map[OpKind]int {
+	counts := make(map[OpKind]int)
+	for _, e := range r.events {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// RemoteShare returns the fraction of load/store/atomic events that
+// crossed a communication layer — a quick locality metric for a
+// barrier algorithm.
+func (r *Recorder) RemoteShare() float64 {
+	total, remote := 0, 0
+	for _, e := range r.events {
+		if e.Kind == OpWake {
+			continue
+		}
+		total++
+		if e.Remote {
+			remote++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(remote) / float64(total)
+}
+
+// CostByThread sums charged nanoseconds per thread.
+func (r *Recorder) CostByThread(threads int) []float64 {
+	out := make([]float64, threads)
+	for _, e := range r.events {
+		if e.Thread < threads {
+			out[e.Thread] += e.Cost
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable, time-ordered event log. Useful for
+// inspecting a single barrier episode.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Between(0, 1e18) {
+		remote := " "
+		if e.Remote {
+			remote = "R"
+		}
+		if _, err := fmt.Fprintf(w, "%10.2f  t%02d/c%02d  %-6s %s addr=%-4d cost=%.2f\n",
+			e.Time, e.Thread, e.Core, e.Kind, remote, e.Addr, e.Cost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonEvent mirrors Event with stable JSON field names.
+type jsonEvent struct {
+	Time   float64 `json:"time_ns"`
+	Thread int     `json:"thread"`
+	Core   int     `json:"core"`
+	Kind   string  `json:"kind"`
+	Addr   int     `json:"addr"`
+	Cost   float64 `json:"cost_ns"`
+	Remote bool    `json:"remote"`
+}
+
+// WriteJSON exports the events as JSON Lines for external tooling.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.events {
+		je := jsonEvent{
+			Time: e.Time, Thread: e.Thread, Core: e.Core,
+			Kind: e.Kind.String(), Addr: int(e.Addr), Cost: e.Cost, Remote: e.Remote,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders per-thread lanes over virtual time: one row per
+// thread, one column per time bucket, with the dominant operation kind
+// in each bucket ('l' load, 's' store, 'a' atomic, '.' idle/blocked).
+// Remote operations are upper-cased. Width is the number of buckets
+// (default 72).
+func (r *Recorder) Gantt(threads, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if r.Len() == 0 || threads <= 0 {
+		return "(no events)\n"
+	}
+	minT, maxT := r.events[0].Time, 0.0
+	for _, e := range r.events {
+		if e.Time < minT {
+			minT = e.Time
+		}
+		if end := e.Time + e.Cost; end > maxT {
+			maxT = end
+		}
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	scale := float64(width) / (maxT - minT)
+	lanes := make([][]byte, threads)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(".", width))
+	}
+	glyph := func(e Event) byte {
+		var g byte
+		switch e.Kind {
+		case OpLoad:
+			g = 'l'
+		case OpStore:
+			g = 's'
+		case OpAtomic:
+			g = 'a'
+		default:
+			return 0
+		}
+		if e.Remote {
+			g -= 'a' - 'A' // upper-case
+		}
+		return g
+	}
+	for _, e := range r.events {
+		g := glyph(e)
+		if g == 0 || e.Thread >= threads {
+			continue
+		}
+		from := int((e.Time - minT) * scale)
+		to := int((e.Time + e.Cost - minT) * scale)
+		if to >= width {
+			to = width - 1
+		}
+		for c := from; c <= to; c++ {
+			lanes[e.Thread][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %.1f .. %.1f ns (l/s/a = load/store/atomic, upper-case = remote)\n", minT, maxT)
+	for t, lane := range lanes {
+		fmt.Fprintf(&b, "t%02d |%s|\n", t, lane)
+	}
+	return b.String()
+}
+
+// Summary renders a one-paragraph overview: op counts and locality.
+func (r *Recorder) Summary() string {
+	counts := r.OpCount()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events: %d loads, %d stores, %d atomics, %d wakeups; %.0f%% remote",
+		r.Len(), counts[OpLoad], counts[OpStore], counts[OpAtomic], counts[OpWake],
+		100*r.RemoteShare())
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+// recordedRun executes a tiny two-thread producer/consumer program
+// with a recorder attached.
+func recordedRun(t *testing.T) *Recorder {
+	t.Helper()
+	m := topology.ThunderX2()
+	place, err := topology.Custom(m, []int{0, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	k, err := New(Config{Machine: m, Placement: place, Trace: rec.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k.Alloc(1)[0]
+	c := k.Alloc(1)[0]
+	k.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			th.Store(a, 1)
+			th.FetchAdd(c, 1)
+		} else {
+			th.SpinUntilEqual(a, 1)
+			th.FetchAdd(c, 1)
+		}
+	})
+	return rec
+}
+
+func TestRecorderCounts(t *testing.T) {
+	rec := recordedRun(t)
+	counts := rec.OpCount()
+	if counts[OpStore] != 1 || counts[OpAtomic] != 2 {
+		t.Fatalf("op counts = %v", counts)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestRecorderByThread(t *testing.T) {
+	rec := recordedRun(t)
+	t0 := rec.ByThread(0)
+	t1 := rec.ByThread(1)
+	if len(t0) == 0 || len(t1) == 0 {
+		t.Fatal("missing per-thread events")
+	}
+	for _, e := range t1 {
+		if e.Thread != 1 {
+			t.Fatalf("foreign event in ByThread(1): %+v", e)
+		}
+	}
+}
+
+func TestRecorderBetweenSorted(t *testing.T) {
+	rec := recordedRun(t)
+	evs := rec.Between(0, 1e9)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events not time-sorted at %d", i)
+		}
+	}
+	if len(rec.Between(1e17, 1e18)) != 0 {
+		t.Fatal("Between returned events outside range")
+	}
+}
+
+func TestRecorderRemoteShare(t *testing.T) {
+	rec := recordedRun(t)
+	share := rec.RemoteShare()
+	// The cross-socket consumer load and at least one atomic are
+	// remote; the share must be strictly between 0 and 1.
+	if share <= 0 || share >= 1 {
+		t.Fatalf("remote share = %g", share)
+	}
+}
+
+func TestRecorderCostByThread(t *testing.T) {
+	rec := recordedRun(t)
+	costs := rec.CostByThread(2)
+	if costs[0] <= 0 || costs[1] <= 0 {
+		t.Fatalf("costs = %v", costs)
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	rec := recordedRun(t)
+	var sb strings.Builder
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "atomic") || !strings.Contains(out, "t00/c00") {
+		t.Fatalf("dump missing content:\n%s", out)
+	}
+}
+
+func TestRecorderJSON(t *testing.T) {
+	rec := recordedRun(t)
+	var sb strings.Builder
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != rec.Len() {
+		t.Fatalf("JSON lines = %d, events = %d", len(lines), rec.Len())
+	}
+	var parsed struct {
+		Kind   string  `json:"kind"`
+		TimeNs float64 `json:"time_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &parsed); err != nil {
+		t.Fatalf("first line not JSON: %v", err)
+	}
+	if parsed.Kind == "" {
+		t.Fatal("JSON event missing kind")
+	}
+}
+
+func TestRecorderSummaryAndReset(t *testing.T) {
+	rec := recordedRun(t)
+	s := rec.Summary()
+	if !strings.Contains(s, "events") || !strings.Contains(s, "remote") {
+		t.Fatalf("summary = %q", s)
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestEventSequencesMonotone(t *testing.T) {
+	// Non-wake events carry strictly increasing sequence numbers in
+	// application order — the property the critical-path walker needs.
+	rec := recordedRun(t)
+	last := -1
+	for _, e := range rec.Events() {
+		if e.Kind == OpWake {
+			continue
+		}
+		if e.Seq <= last {
+			t.Fatalf("event seq %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	if last < 0 {
+		t.Fatal("no sequenced events")
+	}
+}

@@ -1,0 +1,43 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"armbarrier/topology"
+)
+
+func ExampleMachine_LatencyBetween() {
+	m := topology.ThunderX2()
+	fmt.Println(m.LatencyBetween(0, 0))  // local
+	fmt.Println(m.LatencyBetween(0, 1))  // within a socket
+	fmt.Println(m.LatencyBetween(0, 32)) // across the CCPI2 interconnect
+	// Output:
+	// 1.2
+	// 24
+	// 140.7
+}
+
+func ExampleCompact() {
+	m := topology.Kunpeng920()
+	p, _ := topology.Compact(m, 6)
+	fmt.Println(p)
+	fmt.Println(p.ClusterCounts(m)[:2])
+	// Output:
+	// [0 1 2 3 4 5]
+	// [4 2]
+}
+
+func ExampleNewHierarchical() {
+	m, err := topology.NewHierarchical(topology.HierarchicalSpec{
+		Name:         "mychip",
+		Levels:       []int{4, 8}, // 4 cores per cluster, 8 clusters
+		Epsilon:      1.2,
+		LevelLatency: []float64{10, 55},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(m.Cores, m.ClusterSize, m.LatencyBetween(0, 4))
+	// Output: 32 4 55
+}

@@ -1,0 +1,274 @@
+package topology
+
+import "fmt"
+
+// The latency numbers below are the paper's measured core-to-core
+// latencies (Tables I, II and III) in nanoseconds. The α and contention
+// coefficients are not reported numerically in the paper ("α_i and c
+// will have different values on different processors"); we calibrate
+// them so the simulated experiments reproduce the paper's observed
+// behaviour: high SENSE cost on ThunderX2, low reader contention on
+// Kunpeng920 (where global wake-up wins), and an Intel baseline several
+// times cheaper than the ARM machines.
+
+// Phytium2000 returns the 64-core Phytium 2000+ (8 panels x 2 core
+// groups x 4 cores) with the Table I latency layers:
+//
+//	L0 within a core group, L1 within a panel, L2..L8 panel 0-k.
+func Phytium2000() *Machine {
+	m := &Machine{
+		Name:           "phytium2000",
+		Cores:          64,
+		ClockGHz:       2.2,
+		CacheLineBytes: 64,
+		FlagBytes:      4,
+		Epsilon:        1.8,
+		// L0, L1, then panel distances 1..7 (Table I: panel 0-1 .. 0-7).
+		Latency:          []float64{9.1, 42.3, 54.1, 76.3, 65.6, 61.4, 72.7, 95.5, 84.5},
+		ClusterSize:      4,
+		Alpha:            0.35,
+		ReadContention:   2.0,
+		AtomicContention: 9.0,
+		NetworkOccupancy: 1.5,
+		layerOf: func(a, b int) Layer {
+			if a/4 == b/4 {
+				return 0 // same core group
+			}
+			pa, pb := a/8, b/8
+			if pa == pb {
+				return 1 // same panel, different group
+			}
+			d := pa - pb
+			if d < 0 {
+				d = -d
+			}
+			return Layer(1 + d) // panel distance d -> L_{1+d}
+		},
+		clusterOf: func(core int) int { return core / 4 },
+	}
+	mustValidate(m)
+	return m
+}
+
+// ThunderX2 returns the dual-socket 64-core Cavium ThunderX2 with the
+// Table II latencies: uniform 24ns within a socket, 140.7ns across the
+// CCPI2 interconnect. The logical core cluster is a whole socket
+// (N_c = 32 per Section III-A).
+func ThunderX2() *Machine {
+	m := &Machine{
+		Name:             "thunderx2",
+		Cores:            64,
+		ClockGHz:         2.5,
+		CacheLineBytes:   64,
+		FlagBytes:        4,
+		Epsilon:          1.2,
+		Latency:          []float64{24, 140.7},
+		ClusterSize:      32,
+		Alpha:            0.5,
+		ReadContention:   4.0,
+		AtomicContention: 150.0,
+		NetworkOccupancy: 6.0,
+		layerOf: func(a, b int) Layer {
+			if a/32 == b/32 {
+				return 0
+			}
+			return 1
+		},
+		clusterOf: func(core int) int { return core / 32 },
+	}
+	mustValidate(m)
+	return m
+}
+
+// Kunpeng920 returns the 64-core HiSilicon Kunpeng 920 (2 SCCLs x 8
+// CCLs x 4 cores) with the Table III latencies: 14.2ns within a CCL,
+// 44.2ns within an SCCL, 75ns across SCCLs. N_c = 4 (a CCL). The low
+// ReadContention reflects the paper's finding that "thread contention
+// on Kunpeng920 has relatively little impact", which is why global
+// wake-up wins there.
+func Kunpeng920() *Machine {
+	m := &Machine{
+		Name:             "kunpeng920",
+		Cores:            64,
+		ClockGHz:         2.6,
+		CacheLineBytes:   128,
+		FlagBytes:        4,
+		Epsilon:          1.15,
+		Latency:          []float64{14.2, 44.2, 75},
+		ClusterSize:      4,
+		Alpha:            0.03,
+		ReadContention:   0.15,
+		AtomicContention: 60.0,
+		NetworkOccupancy: 1.0,
+		layerOf: func(a, b int) Layer {
+			if a/4 == b/4 {
+				return 0 // same CCL
+			}
+			if a/32 == b/32 {
+				return 1 // same SCCL
+			}
+			return 2
+		},
+		clusterOf: func(core int) int { return core / 4 },
+	}
+	mustValidate(m)
+	return m
+}
+
+// XeonGold returns the 32-core Intel Xeon Gold baseline from the
+// paper's motivation (Figure 5): a conventional x86 server with a flat,
+// fast on-chip mesh. Latencies are representative published numbers for
+// Skylake-SP class parts, not paper measurements.
+func XeonGold() *Machine {
+	m := &Machine{
+		Name:             "xeongold",
+		Cores:            32,
+		ClockGHz:         2.1,
+		CacheLineBytes:   64,
+		FlagBytes:        4,
+		Epsilon:          1.0,
+		Latency:          []float64{18},
+		ClusterSize:      32,
+		Alpha:            0.3,
+		ReadContention:   0.4,
+		AtomicContention: 3.0,
+		NetworkOccupancy: 1.5,
+		layerOf:          func(a, b int) Layer { return 0 },
+		clusterOf:        func(core int) int { return 0 },
+	}
+	mustValidate(m)
+	return m
+}
+
+// ARMMachines returns the three ARMv8 machines evaluated in the paper,
+// in the order they appear in its figures.
+func ARMMachines() []*Machine {
+	return []*Machine{Phytium2000(), ThunderX2(), Kunpeng920()}
+}
+
+// AllMachines returns the ARM machines plus the Intel baseline.
+func AllMachines() []*Machine {
+	return append(ARMMachines(), XeonGold())
+}
+
+// ByName returns the built-in machine with the given name.
+func ByName(name string) (*Machine, error) {
+	switch name {
+	case "phytium2000", "phytium", "ft2000":
+		return Phytium2000(), nil
+	case "thunderx2", "tx2":
+		return ThunderX2(), nil
+	case "kunpeng920", "kp920", "kunpeng":
+		return Kunpeng920(), nil
+	case "xeongold", "xeon", "x86":
+		return XeonGold(), nil
+	}
+	return nil, fmt.Errorf("topology: unknown machine %q (want phytium2000, thunderx2, kunpeng920 or xeongold)", name)
+}
+
+// HierarchicalSpec describes a synthetic machine with uniform
+// latencies per sharing level, for what-if studies on topologies the
+// paper did not measure.
+type HierarchicalSpec struct {
+	Name string
+	// Levels are group sizes from innermost to outermost: {4, 2, 8}
+	// means 4 cores per group, 2 groups per panel, 8 panels (64 cores).
+	Levels []int
+	// Epsilon is the local latency; LevelLatency[i] is the latency
+	// between cores whose first differing level is i. Must have
+	// len(LevelLatency) == len(Levels).
+	Epsilon      float64
+	LevelLatency []float64
+	// Optional model parameters; zero values get defaults
+	// (α=0.5, c=1, atomic=8, network=2).
+	Alpha            float64
+	ReadContention   float64
+	AtomicContention float64
+	NetworkOccupancy float64
+	ClockGHz         float64
+	CacheLineBytes   int
+	FlagBytes        int
+}
+
+// NewHierarchical builds a Machine from a HierarchicalSpec. The logical
+// core cluster is the innermost level.
+func NewHierarchical(spec HierarchicalSpec) (*Machine, error) {
+	if len(spec.Levels) == 0 {
+		return nil, fmt.Errorf("topology: %s: no levels", spec.Name)
+	}
+	if len(spec.LevelLatency) != len(spec.Levels) {
+		return nil, fmt.Errorf("topology: %s: %d levels but %d latencies",
+			spec.Name, len(spec.Levels), len(spec.LevelLatency))
+	}
+	cores := 1
+	// sizes[i] = cores per level-i block.
+	sizes := make([]int, len(spec.Levels))
+	for i, l := range spec.Levels {
+		if l <= 0 {
+			return nil, fmt.Errorf("topology: %s: level %d size %d", spec.Name, i, l)
+		}
+		cores *= l
+		sizes[i] = cores
+	}
+	alpha := spec.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	rc := spec.ReadContention
+	if rc == 0 {
+		rc = 1
+	}
+	ac := spec.AtomicContention
+	if ac == 0 {
+		ac = 8
+	}
+	net := spec.NetworkOccupancy
+	if net == 0 {
+		net = 2
+	}
+	clb := spec.CacheLineBytes
+	if clb == 0 {
+		clb = 64
+	}
+	fb := spec.FlagBytes
+	if fb == 0 {
+		fb = 4
+	}
+	clock := spec.ClockGHz
+	if clock == 0 {
+		clock = 2.0
+	}
+	m := &Machine{
+		Name:             spec.Name,
+		Cores:            cores,
+		ClockGHz:         clock,
+		CacheLineBytes:   clb,
+		FlagBytes:        fb,
+		Epsilon:          spec.Epsilon,
+		Latency:          append([]float64(nil), spec.LevelLatency...),
+		ClusterSize:      spec.Levels[0],
+		Alpha:            alpha,
+		ReadContention:   rc,
+		AtomicContention: ac,
+		NetworkOccupancy: net,
+		layerOf: func(a, b int) Layer {
+			for i, s := range sizes {
+				if a/s == b/s {
+					return Layer(i)
+				}
+			}
+			return Layer(len(sizes) - 1)
+		},
+		clusterOf: func(core int) int { return core / spec.Levels[0] },
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func mustValidate(m *Machine) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+}

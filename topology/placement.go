@@ -1,0 +1,95 @@
+package topology
+
+import "fmt"
+
+// Placement maps logical thread IDs to physical core IDs, the software
+// analogue of pthread affinity pinning used throughout the paper
+// ("each thread is pinned to a distinct physical core"). Placement[i]
+// is the core that thread i runs on.
+type Placement []int
+
+// Compact returns the placement used in the paper's evaluation: thread
+// i pinned to core i, so consecutive threads fill a cluster before
+// spilling into the next one.
+func Compact(m *Machine, threads int) (Placement, error) {
+	if threads <= 0 || threads > m.Cores {
+		return nil, fmt.Errorf("topology: compact placement of %d threads on %d cores", threads, m.Cores)
+	}
+	p := make(Placement, threads)
+	for i := range p {
+		p[i] = i
+	}
+	return p, nil
+}
+
+// Scatter returns a placement that round-robins threads across logical
+// clusters: thread 0 on cluster 0, thread 1 on cluster 1, and so on.
+// It maximizes cross-cluster traffic and is the adversarial pinning for
+// cluster-aware barriers.
+func Scatter(m *Machine, threads int) (Placement, error) {
+	if threads <= 0 || threads > m.Cores {
+		return nil, fmt.Errorf("topology: scatter placement of %d threads on %d cores", threads, m.Cores)
+	}
+	nc := m.NumClusters()
+	p := make(Placement, 0, threads)
+	// Visit cluster-local slot s of every cluster before slot s+1.
+	for s := 0; s < m.ClusterSize && len(p) < threads; s++ {
+		for c := 0; c < nc && len(p) < threads; c++ {
+			core := c*m.ClusterSize + s
+			if core < m.Cores {
+				p = append(p, core)
+			}
+		}
+	}
+	if len(p) != threads {
+		return nil, fmt.Errorf("topology: scatter placement produced %d of %d threads", len(p), threads)
+	}
+	return p, nil
+}
+
+// Custom validates a user-provided thread-to-core map and returns it as
+// a Placement.
+func Custom(m *Machine, cores []int) (Placement, error) {
+	p := Placement(append([]int(nil), cores...))
+	if err := p.Validate(m); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks that every thread maps to a distinct in-range core.
+func (p Placement) Validate(m *Machine) error {
+	if len(p) == 0 {
+		return fmt.Errorf("topology: empty placement")
+	}
+	if len(p) > m.Cores {
+		return fmt.Errorf("topology: %d threads exceed %d cores on %s", len(p), m.Cores, m.Name)
+	}
+	seen := make(map[int]int, len(p))
+	for t, core := range p {
+		if core < 0 || core >= m.Cores {
+			return fmt.Errorf("topology: thread %d pinned to core %d, outside [0,%d)", t, core, m.Cores)
+		}
+		if prev, dup := seen[core]; dup {
+			return fmt.Errorf("topology: threads %d and %d both pinned to core %d", prev, t, core)
+		}
+		seen[core] = t
+	}
+	return nil
+}
+
+// Threads returns the number of threads in the placement.
+func (p Placement) Threads() int { return len(p) }
+
+// CoreOf returns the core thread t is pinned to.
+func (p Placement) CoreOf(t int) int { return p[t] }
+
+// ClusterCounts returns, per logical cluster, how many of the placed
+// threads land in it — useful for asserting placement shapes in tests.
+func (p Placement) ClusterCounts(m *Machine) []int {
+	counts := make([]int, m.NumClusters())
+	for _, core := range p {
+		counts[m.ClusterOf(core)]++
+	}
+	return counts
+}

@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactPlacement(t *testing.T) {
+	m := Phytium2000()
+	p, err := Compact(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads() != 9 {
+		t.Fatalf("threads = %d", p.Threads())
+	}
+	for i := 0; i < 9; i++ {
+		if p.CoreOf(i) != i {
+			t.Fatalf("compact CoreOf(%d) = %d", i, p.CoreOf(i))
+		}
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactFillsClustersFirst(t *testing.T) {
+	m := Kunpeng920()
+	p, err := Compact(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.ClusterCounts(m)
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Fatalf("compact cluster counts = %v, want first two clusters full", counts)
+	}
+}
+
+func TestScatterSpreadsClusters(t *testing.T) {
+	m := Kunpeng920() // 16 clusters of 4
+	p, err := Scatter(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	counts := p.ClusterCounts(m)
+	for cl, n := range counts {
+		if n != 1 {
+			t.Fatalf("scatter: cluster %d has %d threads, want 1 each: %v", cl, n, counts)
+		}
+	}
+}
+
+func TestScatterFullMachine(t *testing.T) {
+	for _, m := range AllMachines() {
+		p, err := Scatter(m, m.Cores)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPlacementBounds(t *testing.T) {
+	m := XeonGold()
+	if _, err := Compact(m, 0); err == nil {
+		t.Error("Compact accepted 0 threads")
+	}
+	if _, err := Compact(m, 33); err == nil {
+		t.Error("Compact accepted more threads than cores")
+	}
+	if _, err := Scatter(m, 0); err == nil {
+		t.Error("Scatter accepted 0 threads")
+	}
+	if _, err := Scatter(m, 999); err == nil {
+		t.Error("Scatter accepted more threads than cores")
+	}
+}
+
+func TestCustomPlacement(t *testing.T) {
+	m := ThunderX2()
+	p, err := Custom(m, []int{0, 32, 1, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CoreOf(1) != 32 {
+		t.Fatalf("CoreOf(1) = %d", p.CoreOf(1))
+	}
+}
+
+func TestCustomRejectsDuplicates(t *testing.T) {
+	m := ThunderX2()
+	if _, err := Custom(m, []int{0, 1, 0}); err == nil {
+		t.Error("Custom accepted a duplicate core")
+	}
+	if _, err := Custom(m, []int{0, -1}); err == nil {
+		t.Error("Custom accepted a negative core")
+	}
+	if _, err := Custom(m, []int{0, 64}); err == nil {
+		t.Error("Custom accepted an out-of-range core")
+	}
+	if _, err := Custom(m, nil); err == nil {
+		t.Error("Custom accepted an empty placement")
+	}
+}
+
+// Property: Scatter always yields a valid placement with distinct cores
+// for any legal thread count on any machine.
+func TestQuickScatterValid(t *testing.T) {
+	machines := AllMachines()
+	f := func(mi, n uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		threads := 1 + int(n)%m.Cores
+		p, err := Scatter(m, threads)
+		if err != nil {
+			return false
+		}
+		return p.Validate(m) == nil && p.Threads() == threads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

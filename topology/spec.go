@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file provides JSON (de)serialization for HierarchicalSpec so
+// custom machines can be described in files and passed to the command-
+// line tools (e.g. `barriertrace -machinefile mychip.json`).
+//
+// Example spec:
+//
+//	{
+//	  "name": "hypothetic96",
+//	  "levels": [6, 4, 4],
+//	  "epsilon": 1.5,
+//	  "level_latency": [11, 48, 130],
+//	  "alpha": 0.4
+//	}
+
+// specJSON mirrors HierarchicalSpec with stable JSON field names.
+type specJSON struct {
+	Name             string    `json:"name"`
+	Levels           []int     `json:"levels"`
+	Epsilon          float64   `json:"epsilon"`
+	LevelLatency     []float64 `json:"level_latency"`
+	Alpha            float64   `json:"alpha,omitempty"`
+	ReadContention   float64   `json:"read_contention,omitempty"`
+	AtomicContention float64   `json:"atomic_contention,omitempty"`
+	NetworkOccupancy float64   `json:"network_occupancy,omitempty"`
+	ClockGHz         float64   `json:"clock_ghz,omitempty"`
+	CacheLineBytes   int       `json:"cache_line_bytes,omitempty"`
+	FlagBytes        int       `json:"flag_bytes,omitempty"`
+}
+
+// ParseSpec decodes a JSON HierarchicalSpec and builds the machine.
+func ParseSpec(data []byte) (*Machine, error) {
+	var sj specJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("topology: parsing machine spec: %w", err)
+	}
+	return NewHierarchical(HierarchicalSpec{
+		Name:             sj.Name,
+		Levels:           sj.Levels,
+		Epsilon:          sj.Epsilon,
+		LevelLatency:     sj.LevelLatency,
+		Alpha:            sj.Alpha,
+		ReadContention:   sj.ReadContention,
+		AtomicContention: sj.AtomicContention,
+		NetworkOccupancy: sj.NetworkOccupancy,
+		ClockGHz:         sj.ClockGHz,
+		CacheLineBytes:   sj.CacheLineBytes,
+		FlagBytes:        sj.FlagBytes,
+	})
+}
+
+// LoadSpecFile reads and parses a JSON machine spec from a file.
+func LoadSpecFile(path string) (*Machine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading machine spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// MarshalSpec encodes a HierarchicalSpec as JSON, the inverse of
+// ParseSpec, for generating spec files programmatically.
+func MarshalSpec(spec HierarchicalSpec) ([]byte, error) {
+	sj := specJSON{
+		Name:             spec.Name,
+		Levels:           spec.Levels,
+		Epsilon:          spec.Epsilon,
+		LevelLatency:     spec.LevelLatency,
+		Alpha:            spec.Alpha,
+		ReadContention:   spec.ReadContention,
+		AtomicContention: spec.AtomicContention,
+		NetworkOccupancy: spec.NetworkOccupancy,
+		ClockGHz:         spec.ClockGHz,
+		CacheLineBytes:   spec.CacheLineBytes,
+		FlagBytes:        spec.FlagBytes,
+	}
+	return json.MarshalIndent(sj, "", "  ")
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleSpec = `{
+  "name": "testchip",
+  "levels": [4, 2],
+  "epsilon": 1.0,
+  "level_latency": [10, 60],
+  "alpha": 0.25
+}`
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "testchip" || m.Cores != 8 || m.ClusterSize != 4 {
+		t.Fatalf("machine = %s", m)
+	}
+	if m.Alpha != 0.25 {
+		t.Fatalf("alpha = %g", m.Alpha)
+	}
+	if got := m.LatencyBetween(0, 4); got != 60 {
+		t.Fatalf("cross-cluster latency = %g", got)
+	}
+	// Defaults applied for omitted coefficients.
+	if m.ReadContention == 0 || m.AtomicContention == 0 || m.NetworkOccupancy == 0 {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("accepted spec with no levels")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","levels":[2],"epsilon":1,"level_latency":[1,2]}`)); err == nil {
+		t.Error("accepted mismatched latency count")
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	if err := os.WriteFile(path, []byte(sampleSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores != 8 {
+		t.Fatalf("cores = %d", m.Cores)
+	}
+	if _, err := LoadSpecFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestMarshalSpecRoundTrip(t *testing.T) {
+	spec := HierarchicalSpec{
+		Name:         "rt",
+		Levels:       []int{2, 3},
+		Epsilon:      1.5,
+		LevelLatency: []float64{7, 70},
+		Alpha:        0.5,
+	}
+	data, err := MarshalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "rt" || m.Cores != 6 || m.Epsilon != 1.5 {
+		t.Fatalf("round trip lost data: %s", m)
+	}
+}

@@ -1,0 +1,213 @@
+// Package topology describes the processor-core organization of the
+// many-core machines studied in "Optimizing Barrier Synchronization on
+// ARMv8 Many-Core Architectures" (CLUSTER 2021): Phytium 2000+,
+// ThunderX2 and Kunpeng920, plus the Intel Xeon baseline from the
+// paper's motivation section.
+//
+// A Machine reduces a processor to the quantities the paper's analysis
+// uses: the local cache latency ε, the layered core-to-core
+// communication latencies L_i (Tables I–III), the logical core cluster
+// size N_c, the write-invalidate RFO weight α, and contention
+// coefficients. Both the cache simulator (package sim) and the
+// analytical model (package model) consume machines through this
+// package, and the NUMA-aware barrier (package barrier) uses the
+// cluster geometry to shape its trees.
+package topology
+
+import (
+	"fmt"
+)
+
+// Layer identifies a communication-distance class between two cores.
+// LayerLocal is an access that stays within one core's own cache (ε);
+// layers 0..n index the machine's L_i table.
+type Layer int
+
+// LayerLocal marks a same-core access, charged at ε rather than any L_i.
+const LayerLocal Layer = -1
+
+// Machine describes one processor in the terms of the paper's model.
+// Machines are immutable after construction; all methods are safe for
+// concurrent use.
+type Machine struct {
+	// Name is a short identifier ("phytium2000", "thunderx2", ...).
+	Name string
+	// Cores is the number of physical cores.
+	Cores int
+	// ClockGHz is the nominal core clock, informational only.
+	ClockGHz float64
+	// CacheLineBytes is the coherence granularity (64 on every machine
+	// studied; 128 on Kunpeng920's L3 tag partitions per the paper's
+	// padding discussion).
+	CacheLineBytes int
+	// FlagBytes is the size of an unpadded arrival flag (the 32-bit
+	// flag of the original static f-way tournament).
+	FlagBytes int
+	// Epsilon is the local cache access latency ε in nanoseconds.
+	Epsilon float64
+	// Latency holds the L_i table in nanoseconds; Latency[i] is L_i.
+	Latency []float64
+	// ClusterSize is N_c, the number of cores in a logical core
+	// cluster (core group on Phytium, socket on ThunderX2, CCL on
+	// Kunpeng920).
+	ClusterSize int
+	// Alpha is the RFO weight α_i from Section III-B, 0 ≤ α ≤ 1.
+	// The paper treats α as layer-specific but platform-calibrated;
+	// we use one value per machine.
+	Alpha float64
+	// ReadContention is the paper's contention coefficient c
+	// (Equation 3): the extra nanoseconds each additional concurrent
+	// reader of one cacheline pays. It can be zero.
+	ReadContention float64
+	// AtomicContention models the hot-spot penalty of a contended
+	// atomic read-modify-write: extra nanoseconds charged per queued
+	// contender on the same line (the network-controller contention
+	// the paper blames for SENSE's linear growth).
+	AtomicContention float64
+	// NetworkOccupancy is the on-chip-interconnect occupancy of one
+	// remote cacheline transfer in nanoseconds: concurrent remote
+	// operations serialize by this amount. It models the network
+	// contention the paper blames for the dissemination barrier's poor
+	// scalability ("concurrent memory accesses for setting flags ...
+	// increase the contention of the on-chip network").
+	NetworkOccupancy float64
+
+	// layerOf maps an ordered core pair (a != b) to a Layer.
+	layerOf func(a, b int) Layer
+	// clusterOf maps a core to its logical cluster index.
+	clusterOf func(core int) int
+}
+
+// Validate checks internal consistency. Machines built by this package
+// always validate; custom machines should be validated once.
+func (m *Machine) Validate() error {
+	switch {
+	case m == nil:
+		return fmt.Errorf("topology: nil machine")
+	case m.Name == "":
+		return fmt.Errorf("topology: machine has no name")
+	case m.Cores <= 0:
+		return fmt.Errorf("topology: %s: Cores = %d, want > 0", m.Name, m.Cores)
+	case m.CacheLineBytes <= 0 || m.FlagBytes <= 0 || m.FlagBytes > m.CacheLineBytes:
+		return fmt.Errorf("topology: %s: bad line/flag sizes %d/%d", m.Name, m.CacheLineBytes, m.FlagBytes)
+	case m.Epsilon <= 0:
+		return fmt.Errorf("topology: %s: Epsilon = %g, want > 0", m.Name, m.Epsilon)
+	case len(m.Latency) == 0:
+		return fmt.Errorf("topology: %s: empty latency table", m.Name)
+	case m.ClusterSize <= 0 || m.ClusterSize > m.Cores:
+		return fmt.Errorf("topology: %s: ClusterSize = %d with %d cores", m.Name, m.ClusterSize, m.Cores)
+	case m.Alpha < 0 || m.Alpha > 1:
+		return fmt.Errorf("topology: %s: Alpha = %g, want in [0,1]", m.Name, m.Alpha)
+	case m.ReadContention < 0 || m.AtomicContention < 0 || m.NetworkOccupancy < 0:
+		return fmt.Errorf("topology: %s: negative contention coefficient", m.Name)
+	case m.layerOf == nil || m.clusterOf == nil:
+		return fmt.Errorf("topology: %s: missing geometry functions", m.Name)
+	}
+	for i, l := range m.Latency {
+		if l <= 0 {
+			return fmt.Errorf("topology: %s: L_%d = %g, want > 0", m.Name, i, l)
+		}
+	}
+	// Every pair must resolve to a valid layer.
+	for a := 0; a < m.Cores; a++ {
+		for b := 0; b < m.Cores; b++ {
+			ly := m.LayerBetween(a, b)
+			if a == b {
+				if ly != LayerLocal {
+					return fmt.Errorf("topology: %s: LayerBetween(%d,%d) = %d, want local", m.Name, a, b, ly)
+				}
+				continue
+			}
+			if ly < 0 || int(ly) >= len(m.Latency) {
+				return fmt.Errorf("topology: %s: LayerBetween(%d,%d) = %d out of range", m.Name, a, b, ly)
+			}
+		}
+	}
+	return nil
+}
+
+// LayerBetween returns the communication layer between cores a and b,
+// or LayerLocal when a == b. It panics on out-of-range cores, which
+// indicates a placement bug.
+func (m *Machine) LayerBetween(a, b int) Layer {
+	if a < 0 || a >= m.Cores || b < 0 || b >= m.Cores {
+		panic(fmt.Sprintf("topology: %s: core pair (%d,%d) out of range [0,%d)", m.Name, a, b, m.Cores))
+	}
+	if a == b {
+		return LayerLocal
+	}
+	return m.layerOf(a, b)
+}
+
+// LatencyBetween returns the core-to-core communication latency in
+// nanoseconds: ε when a == b, otherwise the L_i of their layer.
+func (m *Machine) LatencyBetween(a, b int) float64 {
+	ly := m.LayerBetween(a, b)
+	if ly == LayerLocal {
+		return m.Epsilon
+	}
+	return m.Latency[ly]
+}
+
+// LayerLatency returns L_i for a layer, or ε for LayerLocal.
+func (m *Machine) LayerLatency(ly Layer) float64 {
+	if ly == LayerLocal {
+		return m.Epsilon
+	}
+	return m.Latency[ly]
+}
+
+// ClusterOf returns the index of the logical core cluster containing
+// the core.
+func (m *Machine) ClusterOf(core int) int {
+	if core < 0 || core >= m.Cores {
+		panic(fmt.Sprintf("topology: %s: core %d out of range [0,%d)", m.Name, core, m.Cores))
+	}
+	return m.clusterOf(core)
+}
+
+// NumClusters returns the number of logical core clusters.
+func (m *Machine) NumClusters() int {
+	return (m.Cores + m.ClusterSize - 1) / m.ClusterSize
+}
+
+// SameCluster reports whether two cores share a logical core cluster.
+func (m *Machine) SameCluster(a, b int) bool {
+	return m.ClusterOf(a) == m.ClusterOf(b)
+}
+
+// MaxLatency returns the largest L_i, the worst-case cross-cluster hop.
+func (m *Machine) MaxLatency() float64 {
+	max := 0.0
+	for _, l := range m.Latency {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// FlagsPerLine is how many unpadded arrival flags share one cacheline
+// (the "16x 32-bit flags" figure from Section V-B1 for a 64B line).
+func (m *Machine) FlagsPerLine() int {
+	return m.CacheLineBytes / m.FlagBytes
+}
+
+// LatencyMatrix returns the full Cores x Cores communication-latency
+// matrix in nanoseconds (ε on the diagonal) for external tooling.
+func (m *Machine) LatencyMatrix() [][]float64 {
+	out := make([][]float64, m.Cores)
+	for a := 0; a < m.Cores; a++ {
+		row := make([]float64, m.Cores)
+		for b := 0; b < m.Cores; b++ {
+			row[b] = m.LatencyBetween(a, b)
+		}
+		out[a] = row
+	}
+	return out
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d cores @ %.1f GHz, N_c=%d, eps=%.2fns, L=%v",
+		m.Name, m.Cores, m.ClockGHz, m.ClusterSize, m.Epsilon, m.Latency)
+}

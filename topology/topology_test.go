@@ -1,0 +1,286 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinMachinesValidate(t *testing.T) {
+	for _, m := range AllMachines() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPhytiumTableI(t *testing.T) {
+	m := Phytium2000()
+	if m.Cores != 64 || m.ClusterSize != 4 {
+		t.Fatalf("phytium geometry: cores=%d Nc=%d", m.Cores, m.ClusterSize)
+	}
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 1.8},   // epsilon (local)
+		{0, 1, 9.1},   // L0: same core group
+		{0, 3, 9.1},   // L0 boundary
+		{0, 4, 42.3},  // L1: same panel, other group
+		{0, 7, 42.3},  // L1 boundary
+		{0, 8, 54.1},  // L2: panel 0-1
+		{0, 16, 76.3}, // L3: panel 0-2
+		{0, 24, 65.6}, // L4: panel 0-3
+		{0, 32, 61.4}, // L5: panel 0-4
+		{0, 40, 72.7}, // L6: panel 0-5
+		{0, 48, 95.5}, // L7: panel 0-6
+		{0, 56, 84.5}, // L8: panel 0-7
+		{63, 56, 42.3},
+	}
+	for _, c := range cases {
+		if got := m.LatencyBetween(c.a, c.b); got != c.want {
+			t.Errorf("LatencyBetween(%d,%d) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestThunderX2TableII(t *testing.T) {
+	m := ThunderX2()
+	if m.ClusterSize != 32 {
+		t.Fatalf("tx2 N_c = %d, want 32", m.ClusterSize)
+	}
+	if got := m.LatencyBetween(0, 0); got != 1.2 {
+		t.Errorf("local = %g, want 1.2", got)
+	}
+	if got := m.LatencyBetween(0, 31); got != 24 {
+		t.Errorf("within socket = %g, want 24", got)
+	}
+	if got := m.LatencyBetween(0, 32); got != 140.7 {
+		t.Errorf("across socket = %g, want 140.7", got)
+	}
+	if got := m.LatencyBetween(63, 1); got != 140.7 {
+		t.Errorf("across socket (reverse) = %g, want 140.7", got)
+	}
+}
+
+func TestKunpengTableIII(t *testing.T) {
+	m := Kunpeng920()
+	if m.ClusterSize != 4 {
+		t.Fatalf("kp920 N_c = %d, want 4", m.ClusterSize)
+	}
+	if got := m.LatencyBetween(5, 5); got != 1.15 {
+		t.Errorf("local = %g, want 1.15", got)
+	}
+	if got := m.LatencyBetween(0, 3); got != 14.2 {
+		t.Errorf("within CCL = %g, want 14.2", got)
+	}
+	if got := m.LatencyBetween(0, 4); got != 44.2 {
+		t.Errorf("within SCCL = %g, want 44.2", got)
+	}
+	if got := m.LatencyBetween(0, 63); got != 75.0 {
+		t.Errorf("across SCCL = %g, want 75", got)
+	}
+}
+
+func TestXeonUniform(t *testing.T) {
+	m := XeonGold()
+	if m.Cores != 32 {
+		t.Fatalf("xeon cores = %d, want 32", m.Cores)
+	}
+	for b := 1; b < m.Cores; b++ {
+		if got := m.LatencyBetween(0, b); got != 18 {
+			t.Fatalf("xeon LatencyBetween(0,%d) = %g, want 18", b, got)
+		}
+	}
+}
+
+func TestLatencySymmetry(t *testing.T) {
+	for _, m := range AllMachines() {
+		for a := 0; a < m.Cores; a += 3 {
+			for b := 0; b < m.Cores; b += 5 {
+				la, lb := m.LatencyBetween(a, b), m.LatencyBetween(b, a)
+				if la != lb {
+					t.Fatalf("%s: asymmetric latency (%d,%d): %g vs %g", m.Name, a, b, la, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestIntraClusterIsCheapestRemote(t *testing.T) {
+	for _, m := range ARMMachines() {
+		minRemote := math.Inf(1)
+		for _, l := range m.Latency {
+			if l < minRemote {
+				minRemote = l
+			}
+		}
+		for a := 0; a < m.Cores; a++ {
+			for b := 0; b < m.Cores; b++ {
+				if a == b {
+					continue
+				}
+				if m.SameCluster(a, b) && m.LatencyBetween(a, b) != minRemote {
+					t.Fatalf("%s: intra-cluster pair (%d,%d) latency %g != min remote %g",
+						m.Name, a, b, m.LatencyBetween(a, b), minRemote)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterOfPartition(t *testing.T) {
+	for _, m := range AllMachines() {
+		counts := make(map[int]int)
+		for c := 0; c < m.Cores; c++ {
+			counts[m.ClusterOf(c)]++
+		}
+		if len(counts) != m.NumClusters() {
+			t.Fatalf("%s: %d clusters observed, NumClusters()=%d", m.Name, len(counts), m.NumClusters())
+		}
+		for cl, n := range counts {
+			if n != m.ClusterSize {
+				t.Fatalf("%s: cluster %d has %d cores, want %d", m.Name, cl, n, m.ClusterSize)
+			}
+		}
+	}
+}
+
+func TestLayerLocal(t *testing.T) {
+	m := Phytium2000()
+	if ly := m.LayerBetween(10, 10); ly != LayerLocal {
+		t.Fatalf("LayerBetween(10,10) = %d, want LayerLocal", ly)
+	}
+	if got := m.LayerLatency(LayerLocal); got != m.Epsilon {
+		t.Fatalf("LayerLatency(local) = %g, want eps", got)
+	}
+}
+
+func TestLayerBetweenPanics(t *testing.T) {
+	m := ThunderX2()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range core")
+		}
+	}()
+	m.LayerBetween(0, 64)
+}
+
+func TestMaxLatency(t *testing.T) {
+	if got := Phytium2000().MaxLatency(); got != 95.5 {
+		t.Fatalf("phytium MaxLatency = %g, want 95.5", got)
+	}
+	if got := ThunderX2().MaxLatency(); got != 140.7 {
+		t.Fatalf("tx2 MaxLatency = %g, want 140.7", got)
+	}
+}
+
+func TestFlagsPerLine(t *testing.T) {
+	if got := Phytium2000().FlagsPerLine(); got != 16 {
+		t.Fatalf("phytium FlagsPerLine = %d, want 16 (the paper's 16x 32-bit flags)", got)
+	}
+	if got := Kunpeng920().FlagsPerLine(); got != 32 {
+		t.Fatalf("kp920 FlagsPerLine = %d, want 32", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"phytium2000", "tx2", "kp920", "xeon"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("riscv"); err == nil {
+		t.Error("ByName accepted an unknown machine")
+	}
+}
+
+func TestStringIncludesName(t *testing.T) {
+	s := ThunderX2().String()
+	if len(s) == 0 || s[:9] != "thunderx2" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestNewHierarchical(t *testing.T) {
+	m, err := NewHierarchical(HierarchicalSpec{
+		Name:         "toy",
+		Levels:       []int{2, 3},
+		Epsilon:      1,
+		LevelLatency: []float64{5, 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores != 6 || m.ClusterSize != 2 {
+		t.Fatalf("toy: cores=%d Nc=%d", m.Cores, m.ClusterSize)
+	}
+	if got := m.LatencyBetween(0, 1); got != 5 {
+		t.Errorf("intra-pair latency = %g, want 5", got)
+	}
+	if got := m.LatencyBetween(0, 2); got != 50 {
+		t.Errorf("cross-pair latency = %g, want 50", got)
+	}
+}
+
+func TestNewHierarchicalErrors(t *testing.T) {
+	if _, err := NewHierarchical(HierarchicalSpec{Name: "bad"}); err == nil {
+		t.Error("accepted spec with no levels")
+	}
+	if _, err := NewHierarchical(HierarchicalSpec{
+		Name: "bad", Levels: []int{2}, Epsilon: 1, LevelLatency: []float64{5, 6},
+	}); err == nil {
+		t.Error("accepted mismatched latency count")
+	}
+	if _, err := NewHierarchical(HierarchicalSpec{
+		Name: "bad", Levels: []int{0}, Epsilon: 1, LevelLatency: []float64{5},
+	}); err == nil {
+		t.Error("accepted zero level size")
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	good := Phytium2000()
+	cases := []struct {
+		name   string
+		mutate func(*Machine)
+	}{
+		{"no name", func(m *Machine) { m.Name = "" }},
+		{"no cores", func(m *Machine) { m.Cores = 0 }},
+		{"bad epsilon", func(m *Machine) { m.Epsilon = 0 }},
+		{"no latency", func(m *Machine) { m.Latency = nil }},
+		{"bad cluster", func(m *Machine) { m.ClusterSize = 0 }},
+		{"alpha too big", func(m *Machine) { m.Alpha = 1.5 }},
+		{"negative contention", func(m *Machine) { m.ReadContention = -1 }},
+		{"flag bigger than line", func(m *Machine) { m.FlagBytes = 256 }},
+		{"zero latency entry", func(m *Machine) { m.Latency = []float64{9.1, 0} }},
+	}
+	for _, c := range cases {
+		m := *good
+		m.Latency = append([]float64(nil), good.Latency...)
+		c.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken machine", c.name)
+		}
+	}
+}
+
+// Property: on every machine, LayerBetween is symmetric and in range.
+func TestQuickLayerSymmetric(t *testing.T) {
+	machines := AllMachines()
+	f := func(mi uint8, a, b uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		x, y := int(a)%m.Cores, int(b)%m.Cores
+		lx, ly := m.LayerBetween(x, y), m.LayerBetween(y, x)
+		if lx != ly {
+			return false
+		}
+		if x == y {
+			return lx == LayerLocal
+		}
+		return lx >= 0 && int(lx) < len(m.Latency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package tune searches the barrier design space the paper explores —
+// fan-in schedule, flag padding, wake-up strategy, cluster-aware
+// grouping — for the cheapest configuration on a given machine and
+// thread count, using the cache simulator as the oracle. It automates
+// the workflow of Sections V and VI for new topologies:
+//
+//	best, _ := tune.Search(machine, 64, tune.Options{})
+//	b := barrier.NewFWay(64, best.RealConfig(machine, placement))
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"armbarrier/barrier"
+	"armbarrier/model"
+	"armbarrier/sim"
+	"armbarrier/sim/algo"
+	"armbarrier/topology"
+)
+
+// Candidate is one point of the design space with its measured cost.
+type Candidate struct {
+	// FanIn is the fixed fan-in of the arrival tree (0 = the original
+	// balanced schedule).
+	FanIn bool
+	// Fan is the fixed fan-in value when FanIn is true.
+	Fan int
+	// Padded pads each arrival flag to a cacheline.
+	Padded bool
+	// Wakeup is the Notification-Phase strategy.
+	Wakeup algo.WakeupKind
+	// ClusterMajor groups arrival rounds cluster-by-cluster.
+	ClusterMajor bool
+	// CostNs is the simulated overhead per barrier.
+	CostNs float64
+}
+
+// Name renders the candidate like the experiment tables do.
+func (c Candidate) Name() string {
+	n := "fway"
+	if c.FanIn {
+		n = fmt.Sprintf("%s-f%d", n, c.Fan)
+	} else {
+		n += "-balanced"
+	}
+	if c.Padded {
+		n += "-pad"
+	}
+	n += "-" + c.Wakeup.String()
+	if c.ClusterMajor {
+		n += "-cm"
+	}
+	return n
+}
+
+// simConfig builds the simulator-side configuration.
+func (c Candidate) simConfig(p int) algo.FWayConfig {
+	cfg := algo.FWayConfig{
+		Padded:       c.Padded,
+		Wakeup:       c.Wakeup,
+		ClusterMajor: c.ClusterMajor,
+		Name:         c.Name(),
+	}
+	if c.FanIn {
+		cfg.Schedule = model.FixedFanInSchedule(p, c.Fan)
+	}
+	return cfg
+}
+
+// RealConfig builds the equivalent configuration for the real
+// goroutine barrier (package barrier). Placement may be nil for
+// compact pinning.
+func (c Candidate) RealConfig(m *topology.Machine, p int, place topology.Placement) (barrier.FWayConfig, error) {
+	cfg := barrier.FWayConfig{
+		Padded:      c.Padded,
+		ClusterSize: m.ClusterSize,
+		Name:        c.Name(),
+	}
+	switch c.Wakeup {
+	case algo.WakeGlobal:
+		cfg.Wakeup = barrier.WakeGlobal
+	case algo.WakeBinaryTree:
+		cfg.Wakeup = barrier.WakeBinaryTree
+	case algo.WakeNUMATree:
+		cfg.Wakeup = barrier.WakeNUMATree
+	default:
+		return cfg, fmt.Errorf("tune: unknown wakeup %v", c.Wakeup)
+	}
+	if c.FanIn {
+		cfg.Schedule = model.FixedFanInSchedule(p, c.Fan)
+	}
+	if c.ClusterMajor {
+		if place == nil {
+			compact, err := topology.Compact(m, p)
+			if err != nil {
+				return cfg, err
+			}
+			place = compact
+		}
+		ranks, err := barrier.ClusterMajorRanks(m, place)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Ranks = ranks
+	}
+	return cfg, nil
+}
+
+// Options bounds the search.
+type Options struct {
+	// FanIns to try as fixed fan-ins (default {2, 4, 8}); the balanced
+	// schedule is always tried too.
+	FanIns []int
+	// Episodes per measurement (default 10).
+	Episodes int
+}
+
+// Search measures every candidate on the machine at the given thread
+// count and returns them sorted by cost (cheapest first).
+func Search(m *topology.Machine, threads int, opts Options) ([]Candidate, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if threads < 1 || threads > m.Cores {
+		return nil, fmt.Errorf("tune: %d threads on %d cores", threads, m.Cores)
+	}
+	fanIns := opts.FanIns
+	if fanIns == nil {
+		fanIns = []int{2, 4, 8}
+	}
+	type arrival struct {
+		fixed bool
+		fan   int
+	}
+	arrivals := []arrival{{fixed: false}}
+	for _, f := range fanIns {
+		if f < 2 {
+			return nil, fmt.Errorf("tune: fan-in %d < 2", f)
+		}
+		arrivals = append(arrivals, arrival{fixed: true, fan: f})
+	}
+	var out []Candidate
+	for _, a := range arrivals {
+		for _, padded := range []bool{false, true} {
+			for _, wake := range []algo.WakeupKind{algo.WakeGlobal, algo.WakeBinaryTree, algo.WakeNUMATree} {
+				for _, cm := range []bool{false, true} {
+					c := Candidate{FanIn: a.fixed, Fan: a.fan, Padded: padded, Wakeup: wake, ClusterMajor: cm}
+					cost, err := algo.Measure(m, threads, func(k *sim.Kernel, p int) algo.Barrier {
+						return algo.NewFWay(k, p, c.simConfig(p))
+					}, algo.MeasureOptions{Episodes: opts.Episodes})
+					if err != nil {
+						return nil, err
+					}
+					c.CostNs = cost
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].CostNs < out[j].CostNs })
+	return out, nil
+}
+
+// Best returns the cheapest candidate.
+func Best(m *topology.Machine, threads int, opts Options) (Candidate, error) {
+	all, err := Search(m, threads, opts)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return all[0], nil
+}
