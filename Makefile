@@ -1,0 +1,24 @@
+# Development targets. `make check` is the expanded tier-1 gate
+# (see ROADMAP.md): build + vet + formatting + race-enabled tests.
+
+GO ?= go
+
+.PHONY: build vet fmt test race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet fmt race

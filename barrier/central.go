@@ -11,12 +11,15 @@ type Central struct {
 	counter paddedUint32
 	gsense  paddedUint32
 	local   []paddedUint32 // per-participant local sense
+	spinStats
 }
 
 // NewCentral builds a centralized barrier for p participants.
 func NewCentral(p int) *Central {
 	checkP(p, "central")
-	return &Central{p: p, local: make([]paddedUint32, p)}
+	b := &Central{p: p, local: make([]paddedUint32, p)}
+	b.initSpin(p)
+	return b
 }
 
 // Name implements Barrier.
@@ -39,7 +42,10 @@ func (b *Central) Wait(id int) {
 		b.gsense.v.Store(mySense)
 		return
 	}
-	spinUntilEq(&b.gsense.v, mySense)
+	spinUntilEq(&b.gsense.v, mySense, b.slot(id))
 }
 
-var _ Barrier = (*Central)(nil)
+var (
+	_ Barrier     = (*Central)(nil)
+	_ SpinCounter = (*Central)(nil)
+)

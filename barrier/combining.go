@@ -13,6 +13,7 @@ type Combining struct {
 	levels [][]combiningNode
 	gsense paddedUint32
 	local  []paddedUint32 // per-participant sense
+	spinStats
 }
 
 type combiningNode struct {
@@ -41,6 +42,7 @@ func NewCombining(p, fanIn int) *Combining {
 		}
 		c.levels = append(c.levels, level)
 	}
+	c.initSpin(p)
 	return c
 }
 
@@ -67,7 +69,7 @@ func (c *Combining) Wait(id int) {
 	for l := range c.levels {
 		node := &c.levels[l][idx/c.fanIn]
 		if int(node.counter.v.Add(1)) != node.size {
-			spinUntilEq(&c.gsense.v, mySense)
+			spinUntilEq(&c.gsense.v, mySense, c.slot(id))
 			return
 		}
 		node.counter.v.Store(0) // reset for the next round
@@ -76,4 +78,7 @@ func (c *Combining) Wait(id int) {
 	c.gsense.v.Store(mySense)
 }
 
-var _ Barrier = (*Combining)(nil)
+var (
+	_ Barrier     = (*Combining)(nil)
+	_ SpinCounter = (*Combining)(nil)
+)

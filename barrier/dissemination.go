@@ -14,6 +14,7 @@ type Dissemination struct {
 	// written by the participant's round partner.
 	flags [2][][]paddedUint32
 	local []disseminationLocal
+	spinStats
 }
 
 type disseminationLocal struct {
@@ -36,6 +37,7 @@ func NewDissemination(p int) *Dissemination {
 	for i := range d.local {
 		d.local[i].sense = 1
 	}
+	d.initSpin(p)
 	return d
 }
 
@@ -57,7 +59,7 @@ func (d *Dissemination) Wait(id int) {
 	for r := 0; r < d.rounds; r++ {
 		partner := (id + stride) % d.p
 		d.flags[par][r][partner].v.Store(sense)
-		spinUntilEq(&d.flags[par][r][id].v, sense)
+		spinUntilEq(&d.flags[par][r][id].v, sense, d.slot(id))
 		stride *= 2
 	}
 	if par == 1 {
@@ -66,4 +68,7 @@ func (d *Dissemination) Wait(id int) {
 	l.parity = 1 - par
 }
 
-var _ Barrier = (*Dissemination)(nil)
+var (
+	_ Barrier     = (*Dissemination)(nil)
+	_ SpinCounter = (*Dissemination)(nil)
+)

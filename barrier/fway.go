@@ -86,6 +86,7 @@ type FWay struct {
 	ranks    []int
 	local    []paddedUint32 // per-participant sense
 	name     string
+	spinStats
 }
 
 type fwayCounter struct {
@@ -170,6 +171,7 @@ func NewFWay(p int, cfg FWayConfig) *FWay {
 	default:
 		panic(fmt.Sprintf("barrier: unknown wakeup kind %d", cfg.Wakeup))
 	}
+	f.initSpin(p)
 	return f
 }
 
@@ -246,11 +248,12 @@ func (f *FWay) Wait(id int) {
 		return
 	}
 	rank := f.ranks[id]
+	c := f.slot(id)
 	if f.dynamic {
-		f.waitDynamic(rank, sense)
+		f.waitDynamic(rank, sense, c)
 		return
 	}
-	f.waitStatic(rank, sense)
+	f.waitStatic(rank, sense, c)
 }
 
 func (f *FWay) flag(r, idx int) *atomic.Uint32 {
@@ -260,7 +263,7 @@ func (f *FWay) flag(r, idx int) *atomic.Uint32 {
 	return &f.flagsPacked[r][idx]
 }
 
-func (f *FWay) waitStatic(rank int, sense uint32) {
+func (f *FWay) waitStatic(rank int, sense uint32, c *spinCount) {
 	stride := 1
 	for r := 0; r < len(f.sched); r++ {
 		fr := f.sched[r]
@@ -270,12 +273,12 @@ func (f *FWay) waitStatic(rank int, sense uint32) {
 		if j != 0 {
 			// Statically-determined loser.
 			f.flag(r, group*(fr-1)+(j-1)).Store(sense)
-			f.wakeWait(rank, sense)
+			f.wakeWait(rank, sense, c)
 			return
 		}
 		for cj := 1; cj < fr; cj++ {
 			if rank+cj*stride < f.p {
-				spinUntilEq(f.flag(r, group*(fr-1)+(cj-1)), sense)
+				spinUntilEq(f.flag(r, group*(fr-1)+(cj-1)), sense, c)
 			}
 		}
 		stride *= fr
@@ -283,7 +286,7 @@ func (f *FWay) waitStatic(rank int, sense uint32) {
 	f.wakeSignal(sense)
 }
 
-func (f *FWay) waitDynamic(rank int, sense uint32) {
+func (f *FWay) waitDynamic(rank int, sense uint32, c *spinCount) {
 	idx := rank
 	for r := 0; r < len(f.sched); r++ {
 		fr := f.sched[r]
@@ -291,7 +294,7 @@ func (f *FWay) waitDynamic(rank int, sense uint32) {
 		cnt := &f.counters[r][group]
 		if cnt.size > 1 {
 			if cnt.v.Add(1) != cnt.size {
-				f.wakeWait(rank, sense)
+				f.wakeWait(rank, sense, c)
 				return
 			}
 			cnt.v.Store(0)
@@ -314,18 +317,21 @@ func (f *FWay) wakeSignal(sense uint32) {
 
 // wakeWait blocks a non-champion until released, forwarding tree
 // releases to its own subtree.
-func (f *FWay) wakeWait(rank int, sense uint32) {
+func (f *FWay) wakeWait(rank int, sense uint32, c *spinCount) {
 	if f.wakeKind == WakeGlobal {
-		spinUntilEq(&f.gsense.v, sense)
+		spinUntilEq(&f.gsense.v, sense, c)
 		return
 	}
-	spinUntilEq(&f.wakeFlag[rank].v, sense)
-	for _, c := range f.children[rank] {
-		f.wakeFlag[c].v.Store(sense)
+	spinUntilEq(&f.wakeFlag[rank].v, sense, c)
+	for _, kid := range f.children[rank] {
+		f.wakeFlag[kid].v.Store(sense)
 	}
 }
 
-var _ Barrier = (*FWay)(nil)
+var (
+	_ Barrier     = (*FWay)(nil)
+	_ SpinCounter = (*FWay)(nil)
+)
 
 // NewStaticFWay builds the original static f-way tournament (STOUR):
 // balanced fan-ins, packed flags, global wake-up.

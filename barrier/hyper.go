@@ -12,6 +12,7 @@ type Hyper struct {
 	arrive  []paddedUint32
 	release []paddedUint32
 	local   []paddedUint32 // per-participant sense
+	spinStats
 }
 
 // NewHyper builds the hypercube barrier with libomp's default branch
@@ -25,13 +26,15 @@ func NewHyperBranch(p, branch int) *Hyper {
 	if branch < 2 {
 		panic(fmt.Sprintf("barrier: hyper branch %d < 2", branch))
 	}
-	return &Hyper{
+	h := &Hyper{
 		p:       p,
 		branch:  branch,
 		arrive:  make([]paddedUint32, p),
 		release: make([]paddedUint32, p),
 		local:   make([]paddedUint32, p),
 	}
+	h.initSpin(p)
+	return h
 }
 
 // Name implements Barrier.
@@ -57,13 +60,13 @@ func (h *Hyper) Wait(id int) {
 		}
 		for j := 1; j < b; j++ {
 			if child := id + j*s; child < h.p {
-				spinUntilEq(&h.arrive[child].v, sense)
+				spinUntilEq(&h.arrive[child].v, sense, h.slot(id))
 			}
 		}
 	}
 	// Release.
 	if id != 0 {
-		spinUntilEq(&h.release[id].v, sense)
+		spinUntilEq(&h.release[id].v, sense, h.slot(id))
 	}
 	top := 1
 	for top*b < h.p {
@@ -80,4 +83,7 @@ func (h *Hyper) Wait(id int) {
 	}
 }
 
-var _ Barrier = (*Hyper)(nil)
+var (
+	_ Barrier     = (*Hyper)(nil)
+	_ SpinCounter = (*Hyper)(nil)
+)

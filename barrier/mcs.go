@@ -21,6 +21,7 @@ type MCS struct {
 	// wakeKids[i] holds i's binary-tree children, precomputed so Wait
 	// performs no allocations.
 	wakeKids [][]int
+	spinStats
 }
 
 // mcsArrivalNode packs the 4 child flags into one line, as in the
@@ -43,6 +44,7 @@ func NewMCS(p int) *MCS {
 	for i := 0; i < p; i++ {
 		m.wakeKids[i] = model.BinaryTreeChildren(i, p)
 	}
+	m.initSpin(p)
 	return m
 }
 
@@ -63,14 +65,14 @@ func (m *MCS) Wait(id int) {
 	// Arrival: gather my 4-ary children, then notify my parent.
 	for j := 0; j < 4; j++ {
 		if child := 4*id + j + 1; child < m.p {
-			spinUntilEq(&m.arrive[id].child[j], sense)
+			spinUntilEq(&m.arrive[id].child[j], sense, m.slot(id))
 		}
 	}
 	if id != 0 {
 		parent := (id - 1) / 4
 		m.arrive[parent].child[(id-1)%4].Store(sense)
 		// Wake-up: wait on my own padded flag.
-		spinUntilEq(&m.wake[id].v, sense)
+		spinUntilEq(&m.wake[id].v, sense, m.slot(id))
 	}
 	// Release my binary-tree children.
 	for _, c := range m.wakeKids[id] {
@@ -78,4 +80,7 @@ func (m *MCS) Wait(id int) {
 	}
 }
 
-var _ Barrier = (*MCS)(nil)
+var (
+	_ Barrier     = (*MCS)(nil)
+	_ SpinCounter = (*MCS)(nil)
+)

@@ -20,6 +20,7 @@ type NWayDissemination struct {
 	// flags[parity][round] has n padded slots per participant.
 	flags [2][][]paddedUint32
 	local []disseminationLocal
+	spinStats
 }
 
 // NewNWayDissemination builds the barrier with n partners per round.
@@ -43,6 +44,7 @@ func NewNWayDissemination(p, n int) *NWayDissemination {
 			d.flags[par][r] = make([]paddedUint32, p*n)
 		}
 	}
+	d.initSpin(p)
 	return d
 }
 
@@ -67,7 +69,7 @@ func (d *NWayDissemination) Wait(id int) {
 			d.flags[par][r][partner*d.n+(m-1)].v.Store(sense)
 		}
 		for m := 1; m <= d.n; m++ {
-			spinUntilEq(&d.flags[par][r][id*d.n+(m-1)].v, sense)
+			spinUntilEq(&d.flags[par][r][id*d.n+(m-1)].v, sense, d.slot(id))
 		}
 		span *= d.n + 1
 	}
@@ -77,7 +79,10 @@ func (d *NWayDissemination) Wait(id int) {
 	l.parity = 1 - par
 }
 
-var _ Barrier = (*NWayDissemination)(nil)
+var (
+	_ Barrier     = (*NWayDissemination)(nil)
+	_ SpinCounter = (*NWayDissemination)(nil)
+)
 
 // Hybrid is the two-level barrier of Rodchenko et al.: a centralized
 // sense-reversing barrier within each core cluster plus a
@@ -98,6 +103,7 @@ type Hybrid struct {
 	// episode; the cluster release orders the handoff).
 	repState []disseminationLocal
 	local    []paddedUint32 // per-participant sense
+	spinStats
 }
 
 // HybridConfig configures NewHybrid. The zero value groups
@@ -176,6 +182,7 @@ func NewHybrid(p int, cfg HybridConfig) *Hybrid {
 	for span := 1; span < clusters; span *= 2 {
 		h.rounds++
 	}
+	h.initSpin(p)
 	for par := 0; par < 2; par++ {
 		h.flags[par] = make([][]paddedUint32, h.rounds)
 		for r := range h.flags[par] {
@@ -203,7 +210,7 @@ func (h *Hybrid) Wait(id int) {
 	cnt := &h.counter[c]
 	if cnt.size > 1 {
 		if cnt.v.Add(1) != cnt.size {
-			spinUntilEq(&h.release[c].v, mySense)
+			spinUntilEq(&h.release[c].v, mySense, h.slot(id))
 			return
 		}
 		cnt.v.Store(0)
@@ -216,7 +223,7 @@ func (h *Hybrid) Wait(id int) {
 		for r := 0; r < h.rounds; r++ {
 			partner := (c + span) % h.clusters
 			h.flags[par][r][partner].v.Store(sense)
-			spinUntilEq(&h.flags[par][r][c].v, sense)
+			spinUntilEq(&h.flags[par][r][c].v, sense, h.slot(id))
 			span *= 2
 		}
 		if par == 1 {
@@ -227,7 +234,10 @@ func (h *Hybrid) Wait(id int) {
 	h.release[c].v.Store(mySense)
 }
 
-var _ Barrier = (*Hybrid)(nil)
+var (
+	_ Barrier     = (*Hybrid)(nil)
+	_ SpinCounter = (*Hybrid)(nil)
+)
 
 // Ring is a neighbour-only token barrier (after Aravind): an arrival
 // token travels 0→P-1, a release token travels back. Every access is
@@ -238,17 +248,20 @@ type Ring struct {
 	arrive  []paddedUint32
 	release []paddedUint32
 	local   []paddedUint32 // per-participant sense
+	spinStats
 }
 
 // NewRing builds the ring barrier.
 func NewRing(p int) *Ring {
 	checkP(p, "ring")
-	return &Ring{
+	r := &Ring{
 		p:       p,
 		arrive:  make([]paddedUint32, p),
 		release: make([]paddedUint32, p),
 		local:   make([]paddedUint32, p),
 	}
+	r.initSpin(p)
+	return r
 }
 
 // Name implements Barrier.
@@ -268,15 +281,18 @@ func (r *Ring) Wait(id int) {
 	if id == 0 {
 		r.arrive[0].v.Store(sense)
 	} else {
-		spinUntilEq(&r.arrive[id-1].v, sense)
+		spinUntilEq(&r.arrive[id-1].v, sense, r.slot(id))
 		r.arrive[id].v.Store(sense)
 	}
 	if id == r.p-1 {
 		r.release[id].v.Store(sense)
 		return
 	}
-	spinUntilEq(&r.release[id+1].v, sense)
+	spinUntilEq(&r.release[id+1].v, sense, r.slot(id))
 	r.release[id].v.Store(sense)
 }
 
-var _ Barrier = (*Ring)(nil)
+var (
+	_ Barrier     = (*Ring)(nil)
+	_ SpinCounter = (*Ring)(nil)
+)

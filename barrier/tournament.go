@@ -13,6 +13,7 @@ type Tournament struct {
 	flags  [][]paddedUint32
 	gsense paddedUint32
 	local  []paddedUint32 // per-participant sense
+	spinStats
 }
 
 // NewTournament builds the tournament barrier.
@@ -23,6 +24,7 @@ func NewTournament(p int) *Tournament {
 	for r := range t.flags {
 		t.flags[r] = make([]paddedUint32, p)
 	}
+	t.initSpin(p)
 	return t
 }
 
@@ -45,11 +47,11 @@ func (t *Tournament) Wait(id int) {
 		if id%(2*stride) != 0 {
 			// Loser: signal my winner, then wait for the release.
 			t.flags[r][id-stride].v.Store(sense)
-			spinUntilEq(&t.gsense.v, sense)
+			spinUntilEq(&t.gsense.v, sense, t.slot(id))
 			return
 		}
 		if loser := id + stride; loser < t.p {
-			spinUntilEq(&t.flags[r][id].v, sense)
+			spinUntilEq(&t.flags[r][id].v, sense, t.slot(id))
 		}
 		stride *= 2
 	}
@@ -57,4 +59,7 @@ func (t *Tournament) Wait(id int) {
 	t.gsense.v.Store(sense)
 }
 
-var _ Barrier = (*Tournament)(nil)
+var (
+	_ Barrier     = (*Tournament)(nil)
+	_ SpinCounter = (*Tournament)(nil)
+)

@@ -7,20 +7,26 @@
 //	barrierbench                        # all algorithms, default sweep
 //	barrierbench -threads 2,4,8         # custom sweep
 //	barrierbench -algos central,optimized -episodes 5000
+//	barrierbench -metrics               # live telemetry table per algo x P
+//	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"armbarrier/barrier"
 	"armbarrier/epcc"
 	"armbarrier/internal/table"
+	"armbarrier/obs"
 )
 
 // algos maps command-line names to real barrier constructors.
@@ -64,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		repeats     = fs.Int("repeats", 3, "measurement repeats; the minimum is kept")
 		csv         = fs.Bool("csv", false, "emit CSV")
 		regions     = fs.Bool("regions", false, "measure omp parallel-region overhead instead of bare barriers")
+		metrics     = fs.Bool("metrics", false, "instrument the measured barriers and print a telemetry table")
+		jsonout     = fs.String("jsonout", "", "write results as JSON to this file (or BENCH_<timestamp>.json inside this directory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,12 +104,30 @@ func run(args []string, out io.Writer) error {
 		measure = epcc.MeasureParallelRegion
 	}
 	tb := table.New(title, cols...)
+	var (
+		results []epcc.Result
+		snaps   []obs.Snapshot
+	)
 	for _, name := range names {
 		cells := []string{name}
 		for _, p := range threads {
-			r, err := measure(algos[name], p, epcc.RealOptions{Episodes: *episodes, Repeats: *repeats})
+			ropts := epcc.RealOptions{Episodes: *episodes, Repeats: *repeats}
+			var in *obs.Instrumented
+			if *metrics {
+				// SampleEvery 1: the sweep is short, so exact per-round
+				// capture beats the default sampling here.
+				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
+					in = obs.Instrument(b, obs.Options{Name: name, SampleEvery: 1})
+					return in
+				}
+			}
+			r, err := measure(algos[name], p, ropts)
 			if err != nil {
 				return err
+			}
+			results = append(results, r)
+			if in != nil {
+				snaps = append(snaps, in.Snapshot())
 			}
 			cells = append(cells, table.Cell(r.OverheadNs))
 		}
@@ -114,7 +140,97 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprint(out, tb.Render())
 	}
+	if *metrics {
+		mt := telemetryTable(snaps)
+		if *csv {
+			fmt.Fprint(out, mt.CSV())
+		} else {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, mt.Render())
+		}
+	}
+	if *jsonout != "" {
+		path, err := writeJSON(*jsonout, *regions, *episodes, *repeats, results, snaps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
 	return nil
+}
+
+// telemetryTable renders one row per measured algorithm x thread-count
+// from the instrumented snapshots taken after each measurement.
+func telemetryTable(snaps []obs.Snapshot) *table.Table {
+	mt := table.New("Barrier telemetry (obs.Instrument, exact per-round capture)",
+		"algorithm", "T", "rounds", "spins", "yields",
+		"wait p50ns", "wait p99ns", "wait maxns", "skew meanns", "skew maxns")
+	for _, s := range snaps {
+		var spins, yields uint64
+		var waitMax int64
+		for _, ps := range s.PerParti {
+			spins += ps.Spins
+			yields += ps.Yields
+			if ps.WaitMaxNs > waitMax {
+				waitMax = ps.WaitMaxNs
+			}
+		}
+		mt.AddRow(s.Barrier, strconv.Itoa(s.Participants),
+			strconv.FormatUint(s.TotalRounds(), 10),
+			strconv.FormatUint(spins, 10),
+			strconv.FormatUint(yields, 10),
+			table.Cell(s.WaitQuantileNs(0.5)),
+			table.Cell(s.WaitQuantileNs(0.99)),
+			strconv.FormatInt(waitMax, 10),
+			table.Cell(s.Skew.MeanNs()),
+			strconv.FormatInt(s.Skew.MaxNs, 10))
+	}
+	mt.AddNote("spins/yields totalled across participants; wait quantiles over the merged histogram")
+	return mt
+}
+
+// benchReport is the -jsonout document.
+type benchReport struct {
+	Timestamp  string         `json:"timestamp"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Mode       string         `json:"mode"`
+	Episodes   int            `json:"episodes"`
+	Repeats    int            `json:"repeats"`
+	Results    []epcc.Result  `json:"results"`
+	Telemetry  []obs.Snapshot `json:"telemetry,omitempty"`
+}
+
+// writeJSON writes the report to dest; if dest is an existing
+// directory, a BENCH_<UTC timestamp>.json file is created inside it.
+// Returns the path actually written.
+func writeJSON(dest string, regions bool, episodes, repeats int, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
+	if fi, err := os.Stat(dest); err == nil && fi.IsDir() {
+		dest = filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
+	}
+	mode := "barrier"
+	if regions {
+		mode = "parallel-region"
+	}
+	rep := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Mode:       mode,
+		Episodes:   episodes,
+		Repeats:    repeats,
+		Results:    results,
+		Telemetry:  snaps,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return dest, os.WriteFile(dest, append(buf, '\n'), 0o644)
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -39,6 +42,80 @@ func TestRegionsMode(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "parallel-region overhead") {
 		t.Fatalf("regions title missing:\n%s", sb.String())
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-metrics", "-threads", "1,2", "-algos", "optimized,central",
+		"-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Barrier telemetry", "rounds", "wait p50ns", "skew maxns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	err := run([]string{"-jsonout", path, "-threads", "2", "-algos", "optimized",
+		"-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Mode != "barrier" || rep.GOMAXPROCS < 1 || rep.Timestamp == "" {
+		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "optimized" || rep.Results[0].Threads != 2 {
+		t.Fatalf("report results wrong: %+v", rep.Results)
+	}
+	if len(rep.Telemetry) != 0 {
+		t.Fatalf("telemetry present without -metrics: %+v", rep.Telemetry)
+	}
+}
+
+func TestJSONOutDirWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-jsonout", dir, "-metrics", "-threads", "2", "-algos", "mcs",
+		"-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one BENCH_*.json in %s, got %v (%v)", dir, matches, err)
+	}
+	buf, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Telemetry) != 1 {
+		t.Fatalf("want 1 telemetry snapshot, got %d", len(rep.Telemetry))
+	}
+	snap := rep.Telemetry[0]
+	if snap.Barrier != "mcs" || snap.Participants != 2 || snap.TotalRounds() == 0 {
+		t.Fatalf("telemetry snapshot wrong: %+v", snap)
+	}
+	if !strings.Contains(sb.String(), "wrote ") {
+		t.Fatalf("output does not mention the written file:\n%s", sb.String())
 	}
 }
 

@@ -85,6 +85,11 @@ type RealOptions struct {
 	// Repeats re-runs the measurement and keeps the minimum, the EPCC
 	// convention for suppressing scheduler noise (default 3).
 	Repeats int
+	// Wrap, when non-nil, wraps the constructed barrier before it is
+	// measured — e.g. obs.Instrument to collect telemetry for the very
+	// episodes EPCC times. The wrapper's cost is part of the reported
+	// overhead, so wrapped and bare results are directly comparable.
+	Wrap func(barrier.Barrier) barrier.Barrier
 }
 
 // MeasureReal measures a real goroutine barrier's overhead: the
@@ -110,6 +115,12 @@ func MeasureReal(mk func(p int) barrier.Barrier, threads int, opts RealOptions) 
 	b := mk(threads)
 	if b.Participants() != threads {
 		return Result{}, fmt.Errorf("epcc: barrier has %d participants, want %d", b.Participants(), threads)
+	}
+	if opts.Wrap != nil {
+		b = opts.Wrap(b)
+		if b == nil || b.Participants() != threads {
+			return Result{}, fmt.Errorf("epcc: Wrap changed the barrier shape")
+		}
 	}
 
 	best := time.Duration(1<<62 - 1)

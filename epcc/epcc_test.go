@@ -80,6 +80,53 @@ func TestMeasureRealSingleThread(t *testing.T) {
 	}
 }
 
+// countingWrapper forwards Wait and counts calls — the shape of
+// obs.Instrument without the telemetry, keeping this package's tests
+// free of an obs dependency.
+type countingWrapper struct {
+	barrier.Barrier
+	calls []int
+}
+
+func (c *countingWrapper) Wait(id int) {
+	c.calls[id]++
+	c.Barrier.Wait(id)
+}
+
+func TestMeasureRealWrap(t *testing.T) {
+	var w *countingWrapper
+	r, err := MeasureReal(func(p int) barrier.Barrier { return barrier.New(p) }, 2,
+		RealOptions{Episodes: 50, Repeats: 1,
+			Wrap: func(b barrier.Barrier) barrier.Barrier {
+				w = &countingWrapper{Barrier: b, calls: make([]int, b.Participants())}
+				return w
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs < 0 {
+		t.Fatalf("negative overhead: %+v", r)
+	}
+	// Timed episodes plus warmup all pass through the wrapper.
+	for id, n := range w.calls {
+		if n < 50 {
+			t.Fatalf("wrapper saw only %d Waits for participant %d", n, id)
+		}
+	}
+}
+
+func TestMeasureRealWrapShapeError(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.New(p) }
+	bad := func(b barrier.Barrier) barrier.Barrier { return barrier.New(b.Participants() + 1) }
+	if _, err := MeasureReal(mk, 2, RealOptions{Episodes: 10, Wrap: bad}); err == nil {
+		t.Error("accepted a wrapper that changed the participant count")
+	}
+	if _, err := MeasureReal(mk, 2, RealOptions{Episodes: 10,
+		Wrap: func(barrier.Barrier) barrier.Barrier { return nil }}); err == nil {
+		t.Error("accepted a wrapper that returned nil")
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Name: "stour", Threads: 8, OverheadNs: 123.4, Episodes: 10}
 	s := r.String()

@@ -31,6 +31,12 @@ func MeasureParallelRegion(mk func(p int) barrier.Barrier, threads int, opts Rea
 		return Result{}, fmt.Errorf("epcc: bad options %+v", opts)
 	}
 	b := mk(threads)
+	if opts.Wrap != nil {
+		b = opts.Wrap(b)
+		if b == nil || b.Participants() != threads {
+			return Result{}, fmt.Errorf("epcc: Wrap changed the barrier shape")
+		}
+	}
 	team, err := omp.NewTeam(threads, b)
 	if err != nil {
 		return Result{}, err

@@ -35,6 +35,32 @@ func TestMeasureParallelRegionValidation(t *testing.T) {
 	}
 }
 
+func TestMeasureParallelRegionWrap(t *testing.T) {
+	var w *countingWrapper
+	r, err := MeasureParallelRegion(func(p int) barrier.Barrier { return barrier.New(p) }, 2,
+		RealOptions{Episodes: 50, Repeats: 1,
+			Wrap: func(b barrier.Barrier) barrier.Barrier {
+				w = &countingWrapper{Barrier: b, calls: make([]int, b.Participants())}
+				return w
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadNs <= 0 {
+		t.Fatalf("region overhead = %g", r.OverheadNs)
+	}
+	for id, n := range w.calls {
+		if n == 0 {
+			t.Fatalf("wrapper never saw participant %d", id)
+		}
+	}
+	if _, err := MeasureParallelRegion(func(p int) barrier.Barrier { return barrier.New(p) }, 2,
+		RealOptions{Episodes: 10,
+			Wrap: func(barrier.Barrier) barrier.Barrier { return nil }}); err == nil {
+		t.Error("accepted a wrapper that returned nil")
+	}
+}
+
 func TestRegionCostsMoreThanBareBarrier(t *testing.T) {
 	// A region is two barrier crossings plus dispatch; it should not
 	// be cheaper than a single barrier episode. (Both are noisy on a

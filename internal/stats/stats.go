@@ -90,17 +90,35 @@ func Max(xs []float64) float64 {
 // elements for even lengths. It returns 0 for an empty slice and does not
 // modify its argument.
 func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile of xs (q in [0,1], clamped) using
+// linear interpolation between closest ranks — the "linear" method of R
+// and NumPy, which makes Quantile(xs, 0.5) the conventional median. It
+// returns 0 for an empty slice and does not modify its argument.
+func Quantile(xs []float64, q float64) float64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	sorted := make([]float64, n)
 	copy(sorted, xs)
 	sort.Float64s(sorted)
-	if n%2 == 1 {
-		return sorted[n/2]
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
 	}
-	return (sorted[n/2-1] + sorted[n/2]) / 2
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Speedup returns baseline/optimized, the conventional "x faster" ratio.

@@ -229,3 +229,65 @@ func TestQuickStdDevShiftInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantileEmpty(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Fatalf("Quantile([7], %g) = %g, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	// pos = 0.25*3 = 0.75 -> between 10 and 20 at 0.75.
+	if got := Quantile(xs, 0.25); !almostEqual(got, 17.5) {
+		t.Fatalf("Quantile(0.25) = %g, want 17.5", got)
+	}
+	if got := Quantile(xs, 0.5); !almostEqual(got, 25) {
+		t.Fatalf("Quantile(0.5) = %g, want 25", got)
+	}
+}
+
+func TestQuantileExtremesAndClamping(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Fatalf("Quantile(1) = %g, want 3", got)
+	}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %g, want 1 (clamped)", got)
+	}
+	if got := Quantile(xs, 2); got != 3 {
+		t.Fatalf("Quantile(2) = %g, want 3 (clamped)", got)
+	}
+}
+
+func TestQuantileMatchesMedian(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		return almostEqual(Quantile(xs, 0.5), Median(xs))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.9)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}

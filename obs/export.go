@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Exporters for barrier telemetry. Three formats are supported so a
+// long-running service can expose live barrier health however its
+// fleet is scraped:
+//
+//   - WritePrometheus / Instrumented.MetricsHandler — Prometheus text
+//     exposition (version 0.0.4), histograms in native cumulative form.
+//   - Snapshot JSON (encoding/json) — the snapshot marshals directly.
+//   - Instrumented.Var / Publish — an expvar.Var, so the standard
+//     expvar.Handler at /debug/vars picks the telemetry up for free.
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format. Metric families:
+//
+//	armbarrier_participants                      gauge
+//	armbarrier_rounds_total{participant}         counter
+//	armbarrier_spin_iterations_total{participant} counter
+//	armbarrier_spin_yields_total{participant}    counter
+//	armbarrier_wait_latency_ns{participant}      histogram (+_sum,_count)
+//	armbarrier_arrival_skew_last_ns{participant} gauge
+//	armbarrier_arrival_skew_mean_ns{participant} gauge
+//	armbarrier_round_skew_ns                     histogram (+_sum,_count)
+//	armbarrier_round_skew_max_ns                 gauge
+//
+// Every series carries a barrier="<name>" label.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bl := fmt.Sprintf("barrier=%q", escapeLabel(s.Barrier))
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HELP armbarrier_participants Fixed participant count of the barrier.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_participants gauge\n")
+	fmt.Fprintf(&b, "armbarrier_participants{%s} %d\n", bl, s.Participants)
+
+	counter := func(name, help string, val func(ParticipantSnapshot) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, p := range s.PerParti {
+			fmt.Fprintf(&b, "%s{%s,participant=\"%d\"} %d\n", name, bl, p.ID, val(p))
+		}
+	}
+	counter("armbarrier_rounds_total", "Barrier episodes completed per participant.",
+		func(p ParticipantSnapshot) uint64 { return p.Rounds })
+	counter("armbarrier_spin_iterations_total", "Poll-loop iterations spent waiting inside the barrier.",
+		func(p ParticipantSnapshot) uint64 { return p.Spins })
+	counter("armbarrier_spin_yields_total", "Scheduler yields taken while waiting inside the barrier.",
+		func(p ParticipantSnapshot) uint64 { return p.Yields })
+
+	fmt.Fprintf(&b, "# HELP armbarrier_wait_latency_ns Wait-call latency per participant, log2 buckets.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_wait_latency_ns histogram\n")
+	for _, p := range s.PerParti {
+		writePromHist(&b, "armbarrier_wait_latency_ns",
+			fmt.Sprintf("%s,participant=\"%d\"", bl, p.ID), p.WaitHist, p.WaitSumNs)
+	}
+
+	gauge := func(name, help string, val func(ParticipantSnapshot) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, p := range s.PerParti {
+			fmt.Fprintf(&b, "%s{%s,participant=\"%d\"} %s\n", name, bl, p.ID, val(p))
+		}
+	}
+	gauge("armbarrier_arrival_skew_last_ns", "Arrival offset from the round's first arriver, last completed round.",
+		func(p ParticipantSnapshot) string { return strconv.FormatInt(p.LastSkewNs, 10) })
+	gauge("armbarrier_arrival_skew_mean_ns", "Mean arrival offset from the round's first arriver.",
+		func(p ParticipantSnapshot) string { return formatFloat(p.MeanSkewNs) })
+
+	fmt.Fprintf(&b, "# HELP armbarrier_round_skew_ns Per-round spread between first and last arrival, log2 buckets.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_round_skew_ns histogram\n")
+	writePromHist(&b, "armbarrier_round_skew_ns", bl, s.Skew.Hist, s.Skew.SumNs)
+	fmt.Fprintf(&b, "# HELP armbarrier_round_skew_max_ns Largest per-round arrival spread observed.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_round_skew_max_ns gauge\n")
+	fmt.Fprintf(&b, "armbarrier_round_skew_max_ns{%s} %d\n", bl, s.Skew.MaxNs)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHist emits one histogram series: cumulative le buckets, sum
+// and count, as the exposition format requires.
+func writePromHist(b *strings.Builder, name, labels string, hist []uint64, sumNs int64) {
+	cum := uint64(0)
+	for i, c := range hist {
+		cum += c
+		if c == 0 && i != 0 && i != len(hist)-1 {
+			continue // elide empty interior buckets; cumulative counts stay exact
+		}
+		le := "+Inf"
+		if i < len(hist)-1 {
+			le = strconv.FormatInt(BucketUpperNs(i), 10)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"%s\"} %d\n", name, labels, le, cum)
+	}
+	fmt.Fprintf(b, "%s_sum{%s} %d\n", name, labels, sumNs)
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, cum)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// MetricsHandler returns an http.Handler serving a live snapshot:
+// Prometheus text exposition by default, JSON with ?format=json.
+func (in *Instrumented) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := in.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		_ = WritePrometheus(w, snap)
+	})
+}
+
+// Var returns the telemetry as an expvar.Var whose String() is the
+// JSON snapshot, compatible with the standard expvar.Handler.
+func (in *Instrumented) Var() expvar.Var {
+	return expvar.Func(func() any { return in.Snapshot() })
+}
+
+// Publish registers the telemetry under name in the process-wide expvar
+// registry (it appears at /debug/vars). Like expvar.Publish, it panics
+// on a duplicate name.
+func (in *Instrumented) Publish(name string) {
+	expvar.Publish(name, in.Var())
+}

@@ -39,6 +39,44 @@ func TestGanttDefaultWidth(t *testing.T) {
 	}
 }
 
+func TestGanttZeroDurationEvents(t *testing.T) {
+	// Cost-0 events still land in exactly one bucket instead of
+	// vanishing or smearing.
+	rec := &Recorder{}
+	rec.Record(Event{Time: 0, Thread: 0, Kind: OpStore, Cost: 0})
+	rec.Record(Event{Time: 10, Thread: 0, Kind: OpLoad, Cost: 0})
+	out := rec.Gantt(1, 10)
+	lane := strings.Split(out, "\n")[1]
+	if !strings.Contains(lane, "s") || !strings.Contains(lane, "l") {
+		t.Fatalf("zero-duration events missing from lane: %q", lane)
+	}
+}
+
+func TestGanttIgnoresOutOfRangeThreads(t *testing.T) {
+	rec := &Recorder{}
+	rec.Record(Event{Time: 0, Thread: 0, Kind: OpLoad, Cost: 1})
+	rec.Record(Event{Time: 0, Thread: 7, Kind: OpStore, Cost: 1})
+	out := rec.Gantt(1, 10) // only lane t00 requested
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 { // header + one lane
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if strings.Contains(lines[1], "s") {
+		t.Fatalf("thread-7 store leaked into lane t00: %q", lines[1])
+	}
+}
+
+func TestGanttWidthOne(t *testing.T) {
+	// A single-bucket chart must not panic or overrun the lane.
+	rec := recordedRun(t)
+	out := rec.Gantt(2, 1)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n")[1:] {
+		if len(line) != len("t00 |x|") {
+			t.Fatalf("width-1 lane malformed: %q", line)
+		}
+	}
+}
+
 func TestRecorderEventsAccessor(t *testing.T) {
 	rec := recordedRun(t)
 	evs := rec.Events()

@@ -196,6 +196,9 @@ func (r *Recorder) Gantt(threads, width int) string {
 			continue
 		}
 		from := int((e.Time - minT) * scale)
+		if from >= width {
+			from = width - 1 // an event starting exactly at maxT still gets a cell
+		}
 		to := int((e.Time + e.Cost - minT) * scale)
 		if to >= width {
 			to = width - 1

@@ -74,6 +74,25 @@ func TestRecorderBetweenSorted(t *testing.T) {
 	}
 }
 
+func TestRecorderBetweenTieBreak(t *testing.T) {
+	// Simultaneous events order by thread, regardless of emission order.
+	rec := &Recorder{}
+	rec.Record(Event{Time: 5, Thread: 2, Kind: OpLoad})
+	rec.Record(Event{Time: 5, Thread: 0, Kind: OpStore})
+	rec.Record(Event{Time: 5, Thread: 1, Kind: OpAtomic})
+	rec.Record(Event{Time: 1, Thread: 3, Kind: OpLoad})
+	evs := rec.Between(0, 10)
+	wantThreads := []int{3, 0, 1, 2}
+	if len(evs) != len(wantThreads) {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Thread != wantThreads[i] {
+			t.Fatalf("position %d: thread %d, want %d (order %v)", i, e.Thread, wantThreads[i], evs)
+		}
+	}
+}
+
 func TestRecorderRemoteShare(t *testing.T) {
 	rec := recordedRun(t)
 	share := rec.RemoteShare()
