@@ -9,6 +9,8 @@
 //	barrierbench -algos central,optimized -episodes 5000
 //	barrierbench -metrics               # live telemetry table per algo x P
 //	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
+//	barrierbench -trace -tracetop 3     # flight recorder: worst episodes as Gantt
+//	barrierbench -traceout trace.json   # episodes as Chrome/Perfetto trace JSON
 package main
 
 import (
@@ -72,10 +74,16 @@ func run(args []string, out io.Writer) error {
 		regions     = fs.Bool("regions", false, "measure omp parallel-region overhead instead of bare barriers")
 		metrics     = fs.Bool("metrics", false, "instrument the measured barriers and print a telemetry table")
 		jsonout     = fs.String("jsonout", "", "write results as JSON to this file (or BENCH_<timestamp>.json inside this directory)")
+		traceFlag   = fs.Bool("trace", false, "attach a flight recorder and print the worst captured episodes per measurement")
+		traceout    = fs.String("traceout", "", "write captured episodes as Chrome trace-event JSON to this file (implies -trace)")
+		tracetop    = fs.Int("tracetop", 3, "worst episodes to print per measurement with -trace")
+		traceskew   = fs.Int64("traceskew", 0, "absolute arrival-skew capture threshold in ns (0 = trailing p90 quantile trigger)")
+		tracegroup  = fs.Int("tracegroup", 0, "participants per topology group in the straggler report (0 = ungrouped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracing := *traceFlag || *traceout != ""
 
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
@@ -107,13 +115,31 @@ func run(args []string, out io.Writer) error {
 	var (
 		results []epcc.Result
 		snaps   []obs.Snapshot
+		traced  []tracedMeasurement
 	)
 	for _, name := range names {
 		cells := []string{name}
 		for _, p := range threads {
 			ropts := epcc.RealOptions{Episodes: *episodes, Repeats: *repeats}
 			var in *obs.Instrumented
-			if *metrics {
+			var tr *obs.Tracer
+			switch {
+			case tracing:
+				// The tracer rides the instrumentation's sampled clock
+				// reads; SampleEvery 1 captures every round of the sweep.
+				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
+					topts := obs.TraceOptions{
+						Options:         obs.Options{Name: name, SampleEvery: 1},
+						SkewThresholdNs: *traceskew,
+					}
+					if *traceskew == 0 {
+						topts.SkewQuantile = 0.9
+					}
+					tr = obs.Trace(b, topts)
+					in = tr.Instrumented
+					return tr
+				}
+			case *metrics:
 				// SampleEvery 1: the sweep is short, so exact per-round
 				// capture beats the default sampling here.
 				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
@@ -126,8 +152,16 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			results = append(results, r)
-			if in != nil {
+			if in != nil && *metrics {
 				snaps = append(snaps, in.Snapshot())
+			}
+			if tr != nil {
+				tr.Flush()
+				traced = append(traced, tracedMeasurement{
+					label:     fmt.Sprintf("%s/%dT", name, p),
+					episodes:  tr.Episodes(),
+					triggered: tr.Triggered(),
+				})
 			}
 			cells = append(cells, table.Cell(r.OverheadNs))
 		}
@@ -149,6 +183,15 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, mt.Render())
 		}
 	}
+	if *traceFlag {
+		printEpisodes(out, traced, *tracetop, *tracegroup)
+	}
+	if *traceout != "" {
+		if err := writeChrome(*traceout, traced); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *traceout)
+	}
 	if *jsonout != "" {
 		path, err := writeJSON(*jsonout, *regions, *episodes, *repeats, results, snaps)
 		if err != nil {
@@ -157,6 +200,50 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", path)
 	}
 	return nil
+}
+
+// tracedMeasurement is one algorithm x thread-count's flight-recorder
+// capture.
+type tracedMeasurement struct {
+	label     string
+	episodes  []obs.Episode // worst first
+	triggered uint64
+}
+
+// printEpisodes renders each measurement's worst episodes as Gantt
+// lanes plus a straggler-attribution report.
+func printEpisodes(out io.Writer, traced []tracedMeasurement, top, groupSize int) {
+	fmt.Fprintf(out, "\nCaptured episodes (worst first; w = waiting in barrier, W = last arriver)\n")
+	for _, tm := range traced {
+		show := min(top, len(tm.episodes))
+		fmt.Fprintf(out, "\n== %s: %d triggers, %d kept, showing %d\n",
+			tm.label, tm.triggered, len(tm.episodes), show)
+		for _, ep := range tm.episodes[:show] {
+			fmt.Fprintf(out, "round %d: skew %d ns, max wait %d ns, last arriver p%d\n%s",
+				ep.Round, ep.SkewNs, ep.MaxWaitNs, ep.LastArriver(), ep.Gantt(72))
+		}
+		if len(tm.episodes) > 0 {
+			fmt.Fprint(out, obs.Stragglers(tm.episodes).Format(groupSize))
+		}
+	}
+}
+
+// writeChrome writes all measurements' episodes as one Chrome
+// trace-event JSON file, one process row per measurement.
+func writeChrome(path string, traced []tracedMeasurement) error {
+	groups := make([]obs.ChromeGroup, 0, len(traced))
+	for _, tm := range traced {
+		groups = append(groups, obs.ChromeGroup{Name: tm.label, Episodes: tm.episodes})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, groups...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // telemetryTable renders one row per measured algorithm x thread-count

@@ -119,6 +119,69 @@ func TestJSONOutDirWithMetrics(t *testing.T) {
 	}
 }
 
+func TestTraceMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-trace", "-traceskew", "1", "-tracetop", "2", "-tracegroup", "2",
+		"-threads", "4", "-algos", "optimized", "-episodes", "200", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Captured episodes", "== optimized/4T:", "skew", "max wait",
+		"p00 |", "p03 |", "straggler attribution", "by group of 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceOutChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	err := run([]string{"-traceout", path, "-traceskew", "1",
+		"-threads", "2", "-algos", "central,mcs", "-episodes", "200", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	var sawWait bool
+	for _, e := range doc.TraceEvents {
+		if e.Name == "process_name" {
+			names[e.Args["name"].(string)] = true
+		}
+		if e.Name == "wait" && e.Ph == "X" {
+			sawWait = true
+		}
+	}
+	if !names["central/2T"] || !names["mcs/2T"] {
+		t.Fatalf("process rows missing: %v", names)
+	}
+	if !sawWait {
+		t.Fatal("no wait slices in trace")
+	}
+	// -traceout alone must not print the episode report.
+	if strings.Contains(sb.String(), "Captured episodes") {
+		t.Fatalf("episode report printed without -trace:\n%s", sb.String())
+	}
+}
+
 func TestUnknownAlgorithm(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-algos", "nope"}, &sb); err == nil {

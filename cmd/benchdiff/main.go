@@ -1,0 +1,144 @@
+// Benchdiff compares two BENCH_*.json reports written by
+// `barrierbench -jsonout` and flags overhead regressions beyond a
+// noise threshold. It is the review-time companion to the sweep: run
+// the bench on the baseline commit, run it on the candidate, then
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.05 old.json new.json
+//
+// Results are matched on (algorithm, thread count). A combination
+// whose overhead grew by more than the threshold (default 10%) is
+// flagged as a REGRESSION and the exit status is nonzero, so the tool
+// slots directly into CI or a pre-merge script. Improvements and
+// combinations present in only one report are listed but never fail
+// the run.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"armbarrier/epcc"
+)
+
+// errRegression is the sentinel run returns when at least one
+// combination regressed; main turns it into exit status 1.
+var errRegression = errors.New("benchdiff: regression detected")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// report is the subset of barrierbench's -jsonout document benchdiff
+// needs; unknown fields are ignored so the formats can evolve
+// independently.
+type report struct {
+	Timestamp string        `json:"timestamp"`
+	Mode      string        `json:"mode"`
+	Results   []epcc.Result `json:"results"`
+}
+
+// key identifies one measured combination across the two reports.
+type key struct {
+	name    string
+	threads int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	threshold := fs.Float64("threshold", 0.10,
+		"relative overhead growth that counts as a regression (0.10 = 10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold f] old.json new.json")
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if oldRep.Mode != newRep.Mode {
+		fmt.Fprintf(out, "note: comparing different modes (%q vs %q)\n", oldRep.Mode, newRep.Mode)
+	}
+
+	oldBy := index(oldRep.Results)
+	newBy := index(newRep.Results)
+	keys := make([]key, 0, len(oldBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].threads < keys[j].threads
+	})
+
+	fmt.Fprintf(out, "%-16s %8s %12s %12s %8s\n", "algorithm", "threads", "old ns", "new ns", "delta")
+	regressions := 0
+	for _, k := range keys {
+		o := oldBy[k]
+		n, ok := newBy[k]
+		if !ok {
+			fmt.Fprintf(out, "%-16s %8d %12.1f %12s %8s\n", k.name, k.threads, o.OverheadNs, "-", "gone")
+			continue
+		}
+		delete(newBy, k)
+		delta := (n.OverheadNs - o.OverheadNs) / o.OverheadNs
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-16s %8d %12.1f %12.1f %+7.1f%%%s\n",
+			k.name, k.threads, o.OverheadNs, n.OverheadNs, delta*100, mark)
+	}
+	for k, n := range newBy {
+		fmt.Fprintf(out, "%-16s %8d %12s %12.1f %8s\n", k.name, k.threads, "-", n.OverheadNs, "new")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
+		return errRegression
+	}
+	fmt.Fprintf(out, "\nno regressions beyond %.0f%% threshold\n", *threshold*100)
+	return nil
+}
+
+func load(path string) (report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return report{}, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}
+
+func index(rs []epcc.Result) map[key]epcc.Result {
+	m := make(map[key]epcc.Result, len(rs))
+	for _, r := range rs {
+		m[key{r.Name, r.Threads}] = r
+	}
+	return m
+}

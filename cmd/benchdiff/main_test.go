@@ -1,0 +1,129 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"armbarrier/epcc"
+)
+
+// writeFixture marshals a minimal barrierbench report by hand so the
+// test documents the exact JSON shape benchdiff consumes.
+func writeFixture(t *testing.T, name string, results []epcc.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"timestamp":"2026-08-05T00:00:00Z","mode":"barrier","results":[`)
+	for i, r := range results {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"Name":"` + r.Name + `","Threads":` + strconv.Itoa(r.Threads) +
+			`,"OverheadNs":` + strconv.FormatFloat(r.OverheadNs, 'f', 1, 64) + `,"Episodes":1000}`)
+	}
+	sb.WriteString(`]}`)
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustContain(t *testing.T, out, want string) {
+	t.Helper()
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+}
+
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "central", Threads: 8, OverheadNs: 1000, Episodes: 1000},
+		{Name: "optimized", Threads: 8, OverheadNs: 200, Episodes: 1000},
+	})
+	// optimized regresses by 50%, central improves.
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "central", Threads: 8, OverheadNs: 900, Episodes: 1000},
+		{Name: "optimized", Threads: 8, OverheadNs: 300, Episodes: 1000},
+	})
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("want errRegression, got %v", err)
+	}
+	out := sb.String()
+	mustContain(t, out, "REGRESSION")
+	mustContain(t, out, "1 regression(s) beyond 10% threshold")
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("want exactly one flagged row:\n%s", out)
+	}
+	// The improving combination must not be flagged.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "central") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("improvement flagged as regression: %s", line)
+		}
+	}
+}
+
+func TestDiffWithinNoiseThresholdPasses(t *testing.T) {
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1080, Episodes: 1000}, // +8% < 10%
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("8%% growth under default threshold should pass: %v", err)
+	}
+	mustContain(t, sb.String(), "no regressions")
+}
+
+func TestDiffCustomThreshold(t *testing.T) {
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1080, Episodes: 1000},
+	})
+	var sb strings.Builder
+	err := run([]string{"-threshold", "0.05", oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("8%% growth over 5%% threshold should fail, got %v", err)
+	}
+}
+
+func TestDiffDisjointCombos(t *testing.T) {
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "central", Threads: 2, OverheadNs: 500, Episodes: 1000},
+	})
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "tournament", Threads: 2, OverheadNs: 400, Episodes: 1000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("disjoint combos must not fail the run: %v", err)
+	}
+	mustContain(t, sb.String(), "gone")
+	mustContain(t, sb.String(), "new")
+}
+
+func TestDiffBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"only-one.json"}, &sb); err == nil {
+		t.Fatal("accepted a single argument")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty, empty}, &sb); err == nil {
+		t.Fatal("accepted a report with no results")
+	}
+	if err := run([]string{"/nonexistent.json", empty}, &sb); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

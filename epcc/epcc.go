@@ -86,9 +86,11 @@ type RealOptions struct {
 	// convention for suppressing scheduler noise (default 3).
 	Repeats int
 	// Wrap, when non-nil, wraps the constructed barrier before it is
-	// measured — e.g. obs.Instrument to collect telemetry for the very
-	// episodes EPCC times. The wrapper's cost is part of the reported
-	// overhead, so wrapped and bare results are directly comparable.
+	// measured — e.g. obs.Instrument to collect telemetry, or obs.Trace
+	// to flight-record the very episodes EPCC times (the returned
+	// *obs.Tracer keeps the worst rounds as replayable Episodes). The
+	// wrapper's cost is part of the reported overhead, so wrapped and
+	// bare results are directly comparable.
 	Wrap func(barrier.Barrier) barrier.Barrier
 }
 

@@ -1,28 +1,45 @@
-// Observed: a long-running barrier workload exporting live telemetry.
-// Four workers cross an instrumented optimized barrier in a loop with
-// deliberately unbalanced phase work, while an HTTP server exposes the
-// telemetry three ways:
+// Observed: a long-running barrier workload exporting live telemetry
+// and a flight recorder of its worst rounds. Four workers cross a
+// traced optimized barrier in a loop with deliberately unbalanced
+// phase work, while an HTTP server exposes the state four ways:
 //
-//	/metrics              Prometheus text exposition (histograms, gauges)
-//	/metrics?format=json  the same snapshot as indented JSON
-//	/debug/vars           standard expvar, telemetry published as "barrier"
+//	/metrics                     Prometheus text exposition (histograms, gauges)
+//	/metrics?format=json         the same snapshot as indented JSON
+//	/debug/vars                  standard expvar, telemetry published as "barrier"
+//	/debug/episodes              captured episodes as JSON (worst first)
+//	/debug/episodes?format=gantt text Gantt lanes + straggler attribution
+//	/debug/episodes?format=chrome Chrome trace JSON — load in Perfetto
 //
 // Run and scrape:
 //
 //	go run ./examples/observed &
 //	curl -s localhost:8377/metrics | grep armbarrier_wait_latency
+//	curl -s 'localhost:8377/debug/episodes?format=gantt'
 //
-// Pass -once to run a short burst and print the exposition to stdout
-// instead of serving (used by the repo's tests).
+// Worker goroutines carry pprof labels (barrier=phase-loop,
+// participant=N), so CPU profiles split per participant; under
+// `go test -trace` / runtime/trace the barrier rounds appear as
+// regions. Ctrl-C (or SIGTERM) drains the workers through the barrier
+// — all leave on the same round — and shuts the server down cleanly.
+//
+// Pass -once to run a short burst and print the exposition plus any
+// captured episodes to stdout instead of serving (used by the repo's
+// tests).
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"armbarrier/barrier"
@@ -37,47 +54,105 @@ func main() {
 	flag.Parse()
 
 	const workers = 4
-	// SampleEvery 1 keeps every round in the histograms; the workload's
-	// phase work dwarfs the two clock reads, so exactness is free here.
-	in := obs.Instrument(barrier.New(workers), obs.Options{
-		Name:        "phase-loop",
-		SampleEvery: 1,
+	// SampleEvery 1 keeps every round in the histograms and the flight
+	// recorder; the workload's phase work dwarfs the two clock reads, so
+	// exactness is free here. The trailing-quantile trigger captures the
+	// occasional round whose skew escapes the stable id-microsecond
+	// spread — scheduler preemptions, mostly.
+	tr := obs.Trace(barrier.New(workers), obs.TraceOptions{
+		Options: obs.Options{
+			Name:        "phase-loop",
+			SampleEvery: 1,
+		},
+		RuntimeTrace: true,
 	})
+	defer tr.Close()
 
 	if *once {
-		runBurst(in, 200)
-		if err := obs.WritePrometheus(os.Stdout, in.Snapshot()); err != nil {
+		runBurst(tr, 200)
+		if err := obs.WritePrometheus(os.Stdout, tr.Snapshot()); err != nil {
 			log.Fatal(err)
+		}
+		if eps := tr.Episodes(); len(eps) > 0 {
+			fmt.Printf("\ncaptured %d episode(s), worst:\n%s", len(eps), eps[0].Gantt(72))
 		}
 		return
 	}
 
-	go barrier.Run(in, func(id int) {
-		for round := 0; ; round++ {
-			// Unbalanced phases: worker id spins id extra microseconds,
-			// so the arrival-skew gauges show a stable spread.
-			busy(time.Duration(id) * time.Microsecond)
-			in.Wait(id)
-		}
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	in.Publish("barrier") // expvar: /debug/vars
+	// exitRound coordinates shutdown through the barrier itself: when
+	// the signal arrives, worker 0 publishes the round index everyone
+	// should leave after, before its own arrival in that round. A bare
+	// "leave" flag would deadlock — a worker still spinning in round R
+	// can observe a flag worker 0 set for round R+1 and exit early,
+	// stranding worker 0 at the next barrier. Comparing the local round
+	// counter against the published index makes late readers keep the
+	// group company until the agreed round.
+	var exitRound atomic.Int64
+	exitRound.Store(-1)
+	var workersDone sync.WaitGroup
+	workersDone.Add(1)
+	go func() {
+		defer workersDone.Done()
+		barrier.Run(tr, func(id int) {
+			tr.Do(id, func() { // pprof label: participant=id
+				for r := int64(0); ; r++ {
+					// Unbalanced phases: worker id spins id extra
+					// microseconds, so the arrival-skew gauges show a
+					// stable spread.
+					busy(time.Duration(id) * time.Microsecond)
+					if id == 0 && ctx.Err() != nil && exitRound.Load() < 0 {
+						exitRound.Store(r)
+					}
+					tr.Wait(id)
+					if er := exitRound.Load(); er >= 0 && r >= er {
+						return
+					}
+				}
+			})
+		})
+		tr.Flush() // promote the final pending round, if interesting
+	}()
+
+	tr.Publish("barrier") // expvar: /debug/vars
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", in.MetricsHandler())
+	mux.Handle("/metrics", tr.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	fmt.Printf("serving barrier telemetry on http://%s/metrics\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	mux.Handle("/debug/episodes", tr.EpisodesHandler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	fmt.Printf("serving barrier telemetry on http://%s/metrics (episodes at /debug/episodes)\n", *addr)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	fmt.Println("\nshutting down: draining workers through the barrier")
+	workersDone.Wait()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("server shutdown: %v", err)
+	}
+	fmt.Printf("done: %d rounds, %d episodes captured\n",
+		tr.Snapshot().TotalRounds(), len(tr.Episodes()))
 }
 
 // runBurst drives a fixed number of rounds with the same unbalanced
 // phase shape the serving mode uses.
-func runBurst(in *obs.Instrumented, rounds int) {
-	barrier.Run(in, func(id int) {
-		for r := 0; r < rounds; r++ {
-			busy(time.Duration(id) * time.Microsecond)
-			in.Wait(id)
-		}
+func runBurst(tr *obs.Tracer, rounds int) {
+	barrier.Run(tr, func(id int) {
+		tr.Do(id, func() {
+			for r := 0; r < rounds; r++ {
+				busy(time.Duration(id) * time.Microsecond)
+				tr.Wait(id)
+			}
+		})
 	})
+	tr.Flush()
 }
 
 // busy spins for roughly d without sleeping, so the wait-time the

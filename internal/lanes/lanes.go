@@ -1,0 +1,97 @@
+// Package lanes renders per-lane Gantt timelines as fixed-width text:
+// one row per lane, one column per time bucket, a glyph per span. It is
+// the shared back end of sim.Recorder.Gantt (simulated memory-operation
+// timelines) and obs.Episode.Gantt (real captured barrier episodes), so
+// both substrates produce the same visual language.
+package lanes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span is one glyph-filled interval on a lane. Zero-length spans still
+// occupy one cell so instantaneous events stay visible. A Span with
+// Glyph 0 contributes to the rendered time range but draws nothing —
+// callers use this for events that anchor the timeline without a
+// visual (e.g. simulator wake-ups).
+type Span struct {
+	Lane  int
+	Start float64 // ns
+	End   float64 // ns, >= Start
+	Glyph byte
+}
+
+// Config shapes the rendering.
+type Config struct {
+	// Lanes is the number of rows; spans on other lanes are ignored
+	// (but still widen the time range).
+	Lanes int
+	// Width is the number of time buckets per lane (default 72).
+	Width int
+	// Legend is appended to the header's time-range line.
+	Legend string
+	// Label formats a lane's row prefix; default "t%02d".
+	Label func(lane int) string
+}
+
+// Render draws the spans. Later spans overwrite earlier ones in shared
+// cells, so emission order decides what dominates a busy bucket. With
+// no spans (or no lanes) it returns "(no events)\n".
+func Render(spans []Span, cfg Config) string {
+	width := cfg.Width
+	if width <= 0 {
+		width = 72
+	}
+	if len(spans) == 0 || cfg.Lanes <= 0 {
+		return "(no events)\n"
+	}
+	label := cfg.Label
+	if label == nil {
+		label = func(lane int) string { return fmt.Sprintf("t%02d", lane) }
+	}
+	minT, maxT := spans[0].Start, 0.0
+	for _, s := range spans {
+		if s.Start < minT {
+			minT = s.Start
+		}
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	scale := float64(width) / (maxT - minT)
+	rows := make([][]byte, cfg.Lanes)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range spans {
+		if s.Glyph == 0 || s.Lane < 0 || s.Lane >= cfg.Lanes {
+			continue
+		}
+		from := int((s.Start - minT) * scale)
+		if from >= width {
+			from = width - 1 // a span starting exactly at maxT still gets a cell
+		}
+		to := int((s.End - minT) * scale)
+		if to >= width {
+			to = width - 1
+		}
+		for c := from; c <= to; c++ {
+			rows[s.Lane][c] = s.Glyph
+		}
+	}
+	var b strings.Builder
+	header := fmt.Sprintf("time %.1f .. %.1f ns", minT, maxT)
+	if cfg.Legend != "" {
+		header += " " + cfg.Legend
+	}
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for lane, row := range rows {
+		fmt.Fprintf(&b, "%s |%s|\n", label(lane), row)
+	}
+	return b.String()
+}

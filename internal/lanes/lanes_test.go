@@ -1,0 +1,97 @@
+package lanes
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Span{
+		{Lane: 0, Start: 0, End: 5, Glyph: 'a'},
+		{Lane: 1, Start: 5, End: 10, Glyph: 'b'},
+	}, Config{Lanes: 2, Width: 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time 0.0 .. 10.0 ns") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "t00 |a") || !strings.Contains(lines[2], "b") {
+		t.Fatalf("lanes wrong:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Config{Lanes: 4, Width: 10}); !strings.Contains(out, "no events") {
+		t.Fatalf("empty render = %q", out)
+	}
+	if out := Render([]Span{{Lane: 0, Glyph: 'x'}}, Config{Lanes: 0}); !strings.Contains(out, "no events") {
+		t.Fatalf("zero-lane render = %q", out)
+	}
+}
+
+func TestRenderLaterSpanOverwrites(t *testing.T) {
+	out := Render([]Span{
+		{Lane: 0, Start: 0, End: 10, Glyph: 'a'},
+		{Lane: 0, Start: 4, End: 6, Glyph: 'b'},
+	}, Config{Lanes: 1, Width: 10})
+	lane := strings.Split(out, "\n")[1]
+	if !strings.Contains(lane, "b") || !strings.Contains(lane, "a") {
+		t.Fatalf("overwrite semantics broken: %q", lane)
+	}
+}
+
+func TestRenderGlyphZeroWidensRange(t *testing.T) {
+	// A glyph-0 span anchors the time range without drawing.
+	out := Render([]Span{
+		{Lane: 0, Start: 0, End: 1, Glyph: 'a'},
+		{Lane: 0, Start: 0, End: 100, Glyph: 0},
+	}, Config{Lanes: 1, Width: 10})
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "time 0.0 .. 100.0 ns") {
+		t.Fatalf("range ignored glyph-0 span: %q", lines[0])
+	}
+	if strings.Count(lines[1], "a") != 1 {
+		t.Fatalf("glyph-0 span drew cells: %q", lines[1])
+	}
+}
+
+func TestRenderOutOfRangeLane(t *testing.T) {
+	out := Render([]Span{
+		{Lane: 0, Start: 0, End: 1, Glyph: 'a'},
+		{Lane: 7, Start: 0, End: 1, Glyph: 's'},
+	}, Config{Lanes: 1, Width: 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || strings.Contains(lines[1], "s") {
+		t.Fatalf("out-of-range lane leaked:\n%s", out)
+	}
+}
+
+func TestRenderCustomLabelAndLegend(t *testing.T) {
+	out := Render([]Span{{Lane: 0, Start: 0, End: 1, Glyph: 'w'}}, Config{
+		Lanes:  1,
+		Width:  8,
+		Legend: "(w = waiting)",
+		Label:  func(l int) string { return "p0" + string(rune('0'+l)) },
+	})
+	if !strings.Contains(out, "(w = waiting)") || !strings.Contains(out, "p00 |") {
+		t.Fatalf("custom label/legend missing:\n%s", out)
+	}
+}
+
+func TestRenderZeroDurationAndClamp(t *testing.T) {
+	// Zero-length spans land in exactly one cell; a span at maxT clamps
+	// into the last cell instead of overrunning.
+	out := Render([]Span{
+		{Lane: 0, Start: 0, End: 0, Glyph: 's'},
+		{Lane: 0, Start: 10, End: 10, Glyph: 'l'},
+	}, Config{Lanes: 1, Width: 10})
+	lane := strings.Split(out, "\n")[1]
+	if !strings.Contains(lane, "s") || !strings.Contains(lane, "l") {
+		t.Fatalf("zero-duration spans missing: %q", lane)
+	}
+	if len(lane) != len("t00 |")+10+1 {
+		t.Fatalf("lane overran width: %q", lane)
+	}
+}

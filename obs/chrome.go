@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Chrome trace-event export: captured episodes serialize to the JSON
+// object format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing — one process per barrier, one thread row per
+// participant, a complete ("X") slice per Wait from arrival to
+// release, and an instant marker per episode carrying skew and worst
+// wait. Timestamps are microseconds (the format's unit) measured from
+// the tracer's creation.
+
+// chromeEvent is one entry of the trace-event array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format wrapper.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeGroup is one barrier's episodes for WriteChromeTrace; each
+// group becomes a separate process row in the trace viewer.
+type ChromeGroup struct {
+	Name     string
+	Episodes []Episode
+}
+
+// WriteChromeTrace writes the groups' episodes as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, groups ...ChromeGroup) error {
+	var events []chromeEvent
+	for gi, g := range groups {
+		pid := gi + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": g.Name},
+		})
+		threadsNamed := 0
+		for _, ep := range g.Episodes {
+			for threadsNamed < len(ep.Parts) {
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: threadsNamed,
+					Args: map[string]any{"name": "participant " + strconv.Itoa(threadsNamed)},
+				})
+				threadsNamed++
+			}
+			events = append(events, chromeEvent{
+				Name: "episode " + strconv.FormatUint(ep.Round, 10),
+				Cat:  "barrier", Ph: "i", S: "p",
+				Ts: float64(ep.StartNs) / 1e3, Pid: pid, Tid: ep.LastArriver(),
+				Args: map[string]any{
+					"round":        ep.Round,
+					"skew_ns":      ep.SkewNs,
+					"max_wait_ns":  ep.MaxWaitNs,
+					"last_arriver": ep.LastArriver(),
+				},
+			})
+			for _, p := range ep.Parts {
+				events = append(events, chromeEvent{
+					Name: "wait",
+					Cat:  "barrier", Ph: "X",
+					Ts:  float64(p.ArriveNs) / 1e3,
+					Dur: float64(p.WaitNs()) / 1e3,
+					Pid: pid, Tid: p.ID,
+					Args: map[string]any{
+						"round":     ep.Round,
+						"wait_ns":   p.WaitNs(),
+						"offset_ns": p.ArriveNs - ep.StartNs,
+					},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// WriteChromeTrace writes this tracer's kept episodes (worst first) as
+// Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, ChromeGroup{Name: t.Name(), Episodes: t.Episodes()})
+}
+
+// EpisodesHandler returns an http.Handler serving the kept episodes
+// live, for a /debug/episodes endpoint:
+//
+//	(default)        JSON: barrier, trigger count, episodes (worst first)
+//	?format=gantt    text Gantt lanes plus the straggler report
+//	?format=chrome   Chrome trace-event JSON for Perfetto
+func (t *Tracer) EpisodesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		eps := t.Episodes()
+		switch r.URL.Query().Get("format") {
+		case "gantt":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%s: %d captured episodes (%d triggers total)\n\n",
+				t.Name(), len(eps), t.Triggered())
+			for _, ep := range eps {
+				fmt.Fprintf(w, "round %d: skew %d ns, max wait %d ns\n%s\n",
+					ep.Round, ep.SkewNs, ep.MaxWaitNs, ep.Gantt(72))
+			}
+			io.WriteString(w, Stragglers(eps).Format(0))
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = t.WriteChromeTrace(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Barrier   string    `json:"barrier"`
+				Triggered uint64    `json:"triggered"`
+				Episodes  []Episode `json:"episodes"`
+			}{t.Name(), t.Triggered(), eps})
+		}
+	})
+}

@@ -44,7 +44,9 @@ func escapeLabel(v string) string {
 //
 // Every series carries a barrier="<name>" label.
 func WritePrometheus(w io.Writer, s Snapshot) error {
-	bl := fmt.Sprintf("barrier=%q", escapeLabel(s.Barrier))
+	// escapeLabel already produces the exposition-format escapes
+	// (\\, \", \n); quoting with %q here would double-escape them.
+	bl := `barrier="` + escapeLabel(s.Barrier) + `"`
 	var b strings.Builder
 
 	fmt.Fprintf(&b, "# HELP armbarrier_participants Fixed participant count of the barrier.\n")

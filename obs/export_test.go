@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+// drive runs a wrapped barrier for the given number of rounds so its
+// snapshot has content worth exporting.
+func drive(in *Instrumented, rounds int) {
+	barrier.Run(in, func(id int) {
+		for r := 0; r < rounds; r++ {
+			in.Wait(id)
+		}
+	})
+}
+
+// TestPrometheusLabelEscaping puts every character the exposition
+// format escapes — backslash, double quote, newline — into the barrier
+// name and checks they come out as \\, \" and \n exactly once (the
+// old code %q-quoted the already-escaped value, doubling every escape).
+func TestPrometheusLabelEscaping(t *testing.T) {
+	in := Instrument(barrier.New(2), Options{Name: "a\\b\"c\nd", SampleEvery: 1})
+	drive(in, 8)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, in.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	const want = `barrier="a\\b\"c\nd"`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing correctly escaped label %s", want)
+	}
+	if strings.Contains(out, `a\\\\b`) || strings.Contains(out, `\\"c`) {
+		t.Errorf("label value double-escaped:\n%s", firstLine(out))
+	}
+	// The raw newline must never survive into a series line: every
+	// line of the exposition is either a comment or starts with the
+	// metric-family prefix.
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "armbarrier_") {
+			continue
+		}
+		t.Errorf("line %d is neither comment nor series — raw newline leaked from the label: %q", i, line)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestPublishDuplicatePanics pins the documented expvar contract:
+// publishing the same name twice panics (the standard registry has no
+// unregister), so callers must treat Publish as once-per-process.
+func TestPublishDuplicatePanics(t *testing.T) {
+	in := Instrument(barrier.New(1), Options{Name: "dup-test"})
+	in.Publish("export_test_dup") // first registration is fine
+	defer func() {
+		if recover() == nil {
+			t.Error("second Publish under the same name did not panic")
+		}
+	}()
+	in.Publish("export_test_dup")
+}
+
+// TestSnapshotJSONRoundTripMerged merges two snapshots and checks the
+// merged document survives encoding/json unchanged — the contract the
+// JSON exporter and any downstream dashboard rely on.
+func TestSnapshotJSONRoundTripMerged(t *testing.T) {
+	a := Instrument(barrier.New(2), Options{Name: "rt", SampleEvery: 1})
+	b := Instrument(barrier.New(2), Options{Name: "rt", SampleEvery: 1})
+	drive(a, 50)
+	drive(b, 30)
+	merged := a.Snapshot().Merge(b.Snapshot())
+	if merged.TotalRounds() != 80 {
+		t.Fatalf("merged rounds = %d, want 80", merged.TotalRounds())
+	}
+
+	buf, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, back) {
+		t.Errorf("snapshot changed across JSON round-trip:\nbefore %+v\nafter  %+v", merged, back)
+	}
+	if back.TotalRounds() != merged.TotalRounds() {
+		t.Errorf("TotalRounds %d != %d after round-trip", back.TotalRounds(), merged.TotalRounds())
+	}
+}

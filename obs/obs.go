@@ -191,6 +191,13 @@ func (in *Instrumented) now() int64 { return int64(time.Since(in.base)) }
 // Every participant counts its own rounds, so all participants agree on
 // which rounds are sampled.
 func (in *Instrumented) Wait(id int) {
+	in.wait(id, nil)
+}
+
+// wait is the shared Wait body. A non-nil tr receives the sampled
+// rounds' arrival/release timestamps (the same clock reads the
+// histograms use, so tracing adds no clock cost) — see Tracer.
+func (in *Instrumented) wait(id int, tr *Tracer) {
 	sh := &in.shards[id]
 	r := sh.rounds.Load() // only this participant writes sh.rounds
 	if in.sample > 1 && r%in.sample != 0 {
@@ -200,8 +207,17 @@ func (in *Instrumented) Wait(id int) {
 	}
 	start := in.now()
 	sh.arrival[r&1].Store(start)
+	var reg traceRegion
+	if tr != nil {
+		reg = tr.arrive(id, r/in.sample, start)
+	}
 	in.inner.Wait(id)
-	d := in.now() - start
+	end := in.now()
+	if tr != nil {
+		reg.end()
+		tr.release(id, r/in.sample, end)
+	}
+	d := end - start
 	sh.hist[bucketOf(d)].Add(1)
 	sh.waitSum.Add(d)
 	if d > sh.waitMax.Load() {
@@ -426,7 +442,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		Skew: SkewSnapshot{
 			Rounds: s.Skew.Rounds + o.Skew.Rounds,
 			SumNs:  s.Skew.SumNs + o.Skew.SumNs,
-			MaxNs:  maxInt64(s.Skew.MaxNs, o.Skew.MaxNs),
+			MaxNs:  max(s.Skew.MaxNs, o.Skew.MaxNs),
 			Hist:   mergeHist(s.Skew.Hist, o.Skew.Hist),
 		},
 	}
@@ -440,7 +456,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			Yields:      a.Yields + b.Yields,
 			WaitSamples: a.WaitSamples + b.WaitSamples,
 			WaitSumNs:   a.WaitSumNs + b.WaitSumNs,
-			WaitMaxNs:   maxInt64(a.WaitMaxNs, b.WaitMaxNs),
+			WaitMaxNs:   max(a.WaitMaxNs, b.WaitMaxNs),
 			WaitHist:    mergeHist(a.WaitHist, b.WaitHist),
 			LastSkewNs:  b.LastSkewNs,
 		}
@@ -465,13 +481,6 @@ func mergeHist(a, b []uint64) []uint64 {
 		}
 	}
 	return out
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // HistQuantileNs estimates the q-quantile (q clamped to [0,1]) of a

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"armbarrier/barrier"
@@ -32,11 +33,25 @@ func BenchmarkInstrumentOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		episodeLoop(b, Instrument(barrier.New(p), Options{}))
 	})
+	b.Run("traced", func(b *testing.B) {
+		episodeLoop(b, armedTracer(p))
+	})
+}
+
+// armedTracer builds a flight recorder whose trigger is armed but can
+// never fire — the steady-state configuration whose overhead must stay
+// in the Instrument envelope.
+func armedTracer(p int) *Tracer {
+	return Trace(barrier.New(p), TraceOptions{
+		SkewThresholdNs: 1 << 62,
+	})
 }
 
 // TestInstrumentOverheadGuard enforces the <10% budget in the regular
-// test run. Spin barriers on a shared, unpinned host are noisy, so the
-// guard takes the best of several attempts before judging; set
+// test run, for both the plain instrumentation wrapper and the flight
+// recorder with its trigger armed but not firing. Spin barriers on a
+// shared, unpinned host are noisy, so the guard takes the best of
+// several attempts before judging; set
 // ARMBARRIER_SKIP_OVERHEAD_GUARD=1 to skip on hopelessly loaded
 // machines.
 func TestInstrumentOverheadGuard(t *testing.T) {
@@ -47,26 +62,52 @@ func TestInstrumentOverheadGuard(t *testing.T) {
 		t.Skip("short mode")
 	}
 	const p, attempts = 8, 4
-	best := 0.0
+	if runtime.NumCPU() < p {
+		// Oversubscribed spin barriers measure the scheduler, not the
+		// wrapper: P spinning goroutines on fewer cores make both the
+		// bare and wrapped timings preemption lotteries.
+		t.Skipf("%d CPUs < %d participants", runtime.NumCPU(), p)
+	}
+	variants := []struct {
+		name string
+		mk   func() barrier.Barrier
+	}{
+		{"instrumented", func() barrier.Barrier { return Instrument(barrier.New(p), Options{}) }},
+		{"traced", func() barrier.Barrier { return armedTracer(p) }},
+	}
+	best := map[string]float64{}
 	for a := 0; a < attempts; a++ {
 		bare := testing.Benchmark(func(b *testing.B) {
 			episodeLoop(b, barrier.New(p))
 		})
-		ins := testing.Benchmark(func(b *testing.B) {
-			episodeLoop(b, Instrument(barrier.New(p), Options{}))
-		})
-		ratio := float64(ins.NsPerOp()) / float64(bare.NsPerOp())
-		t.Logf("attempt %d: bare %d ns/episode, instrumented %d ns/episode, ratio %.3f",
-			a, bare.NsPerOp(), ins.NsPerOp(), ratio)
-		if a == 0 || ratio < best {
-			best = ratio
+		ok := true
+		for _, v := range variants {
+			if r, judged := best[v.name]; judged && r < 1.10 {
+				continue // already within budget
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				episodeLoop(b, v.mk())
+			})
+			ratio := float64(res.NsPerOp()) / float64(bare.NsPerOp())
+			t.Logf("attempt %d: bare %d ns/episode, %s %d ns/episode, ratio %.3f",
+				a, bare.NsPerOp(), v.name, res.NsPerOp(), ratio)
+			if prev, judged := best[v.name]; !judged || ratio < prev {
+				best[v.name] = ratio
+			}
+			if best[v.name] >= 1.10 {
+				ok = false
+			}
 		}
-		if best < 1.10 {
+		if ok {
 			return
 		}
 	}
-	t.Errorf("instrument overhead %.1f%% exceeds the 10%% budget (best of %d attempts)",
-		(best-1)*100, attempts)
+	for _, v := range variants {
+		if r := best[v.name]; r >= 1.10 {
+			t.Errorf("%s overhead %.1f%% exceeds the 10%% budget (best of %d attempts)",
+				v.name, (r-1)*100, attempts)
+		}
+	}
 }
 
 // Example of the telemetry a snapshot renders; also keeps the exported

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Straggler attribution: across a set of captured episodes, which
+// participants are persistently the last to arrive? A participant that
+// is last in most episodes points at a structural cause (an unbalanced
+// phase, an overloaded core, a slow NUMA domain) rather than noise —
+// the real-substrate version of the paper's arrival-serialization
+// diagnosis.
+
+// StragglerStat is one participant's attribution across episodes.
+type StragglerStat struct {
+	ID int `json:"id"`
+	// LastCount / FirstCount are the episodes where this participant
+	// arrived last / first (arrival-stamp ties count for each holder).
+	LastCount  int `json:"last_count"`
+	FirstCount int `json:"first_count"`
+	// MeanOffsetNs is the mean arrival offset from each episode's
+	// first arriver.
+	MeanOffsetNs float64 `json:"mean_offset_ns"`
+}
+
+// StragglerReport aggregates attribution over a set of episodes.
+type StragglerReport struct {
+	Episodes int             `json:"episodes"`
+	Stats    []StragglerStat `json:"stats"`
+}
+
+// Stragglers attributes the episodes' arrival order per participant.
+// Episodes whose participant count differs from the first one's are
+// skipped (mixed-shape input).
+func Stragglers(eps []Episode) StragglerReport {
+	if len(eps) == 0 {
+		return StragglerReport{}
+	}
+	p := len(eps[0].Parts)
+	stats := make([]StragglerStat, p)
+	for i := range stats {
+		stats[i].ID = i
+	}
+	counted := 0
+	for _, ep := range eps {
+		if len(ep.Parts) != p {
+			continue
+		}
+		counted++
+		first, last := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, part := range ep.Parts {
+			first = min(first, part.ArriveNs)
+			last = max(last, part.ArriveNs)
+		}
+		for _, part := range ep.Parts {
+			if part.ID < 0 || part.ID >= p {
+				continue
+			}
+			s := &stats[part.ID]
+			s.MeanOffsetNs += float64(part.ArriveNs - first)
+			if part.ArriveNs == last {
+				s.LastCount++
+			}
+			if part.ArriveNs == first {
+				s.FirstCount++
+			}
+		}
+	}
+	if counted > 0 {
+		for i := range stats {
+			stats[i].MeanOffsetNs /= float64(counted)
+		}
+	}
+	return StragglerReport{Episodes: counted, Stats: stats}
+}
+
+// Persistent reports the IDs of participants that were last in more
+// than half of the episodes.
+func (r StragglerReport) Persistent() []int {
+	var out []int
+	for _, s := range r.Stats {
+		if r.Episodes > 0 && s.LastCount*2 > r.Episodes {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// GroupLastCounts sums LastCount per contiguous group of groupSize
+// participants (group g covers IDs [g*groupSize, (g+1)*groupSize)) —
+// a quick test of whether stragglers cluster by topology group.
+func (r StragglerReport) GroupLastCounts(groupSize int) []int {
+	if groupSize <= 0 || len(r.Stats) == 0 {
+		return nil
+	}
+	counts := make([]int, (len(r.Stats)+groupSize-1)/groupSize)
+	for _, s := range r.Stats {
+		counts[s.ID/groupSize] += s.LastCount
+	}
+	return counts
+}
+
+// Format renders the report as text. A positive groupSize appends the
+// per-group clustering view.
+func (r StragglerReport) Format(groupSize int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "straggler attribution over %d captured episodes:\n", r.Episodes)
+	if r.Episodes == 0 {
+		return b.String()
+	}
+	for _, s := range r.Stats {
+		mark := ""
+		if s.LastCount*2 > r.Episodes {
+			mark = "  <- persistent straggler"
+		}
+		fmt.Fprintf(&b, "  p%02d: last %d/%d, first %d/%d, mean arrival offset %.0f ns%s\n",
+			s.ID, s.LastCount, r.Episodes, s.FirstCount, r.Episodes, s.MeanOffsetNs, mark)
+	}
+	if counts := r.GroupLastCounts(groupSize); counts != nil && len(counts) > 1 {
+		fmt.Fprintf(&b, "  last arrivals by group of %d:\n", groupSize)
+		for g, c := range counts {
+			lo := g * groupSize
+			hi := min(lo+groupSize-1, len(r.Stats)-1)
+			fmt.Fprintf(&b, "    g%02d (p%02d-p%02d): %d\n", g, lo, hi, c)
+		}
+	}
+	return b.String()
+}

@@ -124,13 +124,6 @@ func blockRange(n, p, tid int) (lo, hi int) {
 	return lo, hi
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // ReduceFloat64 computes init + Σ f(i) for i in [0, n) with a static
 // schedule, per-worker partials padded against false sharing, and a
 // barrier-separated combine — `#pragma omp parallel for reduction(+:x)`.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"armbarrier/internal/lanes"
 )
 
 // Recorder collects simulator events for post-run analysis: per-thread
@@ -148,30 +150,11 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 // thread, one column per time bucket, with the dominant operation kind
 // in each bucket ('l' load, 's' store, 'a' atomic, '.' idle/blocked).
 // Remote operations are upper-cased. Width is the number of buckets
-// (default 72).
+// (default 72). The rendering back end is internal/lanes, shared with
+// the real-substrate episode Gantt in package obs.
 func (r *Recorder) Gantt(threads, width int) string {
-	if width <= 0 {
-		width = 72
-	}
 	if r.Len() == 0 || threads <= 0 {
 		return "(no events)\n"
-	}
-	minT, maxT := r.events[0].Time, 0.0
-	for _, e := range r.events {
-		if e.Time < minT {
-			minT = e.Time
-		}
-		if end := e.Time + e.Cost; end > maxT {
-			maxT = end
-		}
-	}
-	if maxT <= minT {
-		maxT = minT + 1
-	}
-	scale := float64(width) / (maxT - minT)
-	lanes := make([][]byte, threads)
-	for i := range lanes {
-		lanes[i] = []byte(strings.Repeat(".", width))
 	}
 	glyph := func(e Event) byte {
 		var g byte
@@ -183,36 +166,22 @@ func (r *Recorder) Gantt(threads, width int) string {
 		case OpAtomic:
 			g = 'a'
 		default:
-			return 0
+			return 0 // anchors the time range, draws nothing
 		}
 		if e.Remote {
 			g -= 'a' - 'A' // upper-case
 		}
 		return g
 	}
-	for _, e := range r.events {
-		g := glyph(e)
-		if g == 0 || e.Thread >= threads {
-			continue
-		}
-		from := int((e.Time - minT) * scale)
-		if from >= width {
-			from = width - 1 // an event starting exactly at maxT still gets a cell
-		}
-		to := int((e.Time + e.Cost - minT) * scale)
-		if to >= width {
-			to = width - 1
-		}
-		for c := from; c <= to; c++ {
-			lanes[e.Thread][c] = g
-		}
+	spans := make([]lanes.Span, len(r.events))
+	for i, e := range r.events {
+		spans[i] = lanes.Span{Lane: e.Thread, Start: e.Time, End: e.Time + e.Cost, Glyph: glyph(e)}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "time %.1f .. %.1f ns (l/s/a = load/store/atomic, upper-case = remote)\n", minT, maxT)
-	for t, lane := range lanes {
-		fmt.Fprintf(&b, "t%02d |%s|\n", t, lane)
-	}
-	return b.String()
+	return lanes.Render(spans, lanes.Config{
+		Lanes:  threads,
+		Width:  width,
+		Legend: "(l/s/a = load/store/atomic, upper-case = remote)",
+	})
 }
 
 // Summary renders a one-paragraph overview: op counts and locality.
