@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race check
+.PHONY: build vet fmt test race check bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,13 @@ race:
 	$(GO) test -race ./...
 
 check: build vet fmt race
+
+# One quick barrierbench run per wait policy: exercises every wait
+# discipline end to end (flag parsing through measurement) without the
+# cost of a full sweep.
+bench-smoke:
+	@for w in spin spinyield spinpark adaptive; do \
+		echo "== wait=$$w =="; \
+		$(GO) run ./cmd/barrierbench -algos optimized -threads 4 \
+			-episodes 200 -repeats 2 -wait $$w || exit 1; \
+	done

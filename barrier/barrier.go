@@ -23,9 +23,12 @@
 //
 // These are spin barriers, as in the paper: they trade CPU for latency
 // and are intended for one goroutine per core (set GOMAXPROCS
-// accordingly). Waiters yield to the Go scheduler periodically, so
-// correctness does not depend on having a dedicated core, but
-// performance does.
+// accordingly). By default waiters yield to the Go scheduler
+// periodically, so correctness does not depend on having a dedicated
+// core, but performance does. When participants outnumber processors,
+// pass WithWaitPolicy(SpinParkWait()) — or AdaptiveWait() to let each
+// participant decide — so waiters park instead of burning the quantum
+// of the goroutine they are waiting for (see waitpolicy.go).
 package barrier
 
 import (
@@ -61,9 +64,10 @@ type paddedUint32 struct {
 	_ [cacheLine - 4]byte
 }
 
-// spinYieldEvery bounds busy-spinning: after this many failed polls the
-// waiter yields to the Go scheduler so oversubscribed configurations
-// (P > GOMAXPROCS) still make progress.
+// spinYieldEvery caps the exponential poll backoff: the pause between
+// polls doubles 1 → 2 → … → spinYieldEvery; once the cap is reached a
+// spin-yield waiter enters the scheduler between polls instead, so
+// oversubscribed configurations (P > GOMAXPROCS) still make progress.
 const spinYieldEvery = 128
 
 // spinCount accumulates poll-loop statistics for one participant. The
@@ -77,29 +81,38 @@ type spinCount struct {
 	_      [cacheLine - 16]byte
 }
 
-// spinUntilEq polls an atomic flag until it equals want. A non-nil c
-// receives the number of polls and scheduler yields the wait took; the
-// counters are touched once at loop exit, so the nil (uninstrumented)
-// path pays a single predictable branch and no extra atomics.
+// spinUntilEq polls an atomic flag until it equals want — the
+// spin-yield wait discipline. A non-nil c receives the number of polls
+// and scheduler yields the wait took; the counters are touched once at
+// loop exit, so the nil (uninstrumented) path pays a single
+// predictable branch and no extra atomics.
 func spinUntilEq(f *atomic.Uint32, want uint32, c *spinCount) {
-	if c == nil {
-		for i := 1; f.Load() != want; i++ {
-			if i%spinYieldEvery == 0 {
-				runtime.Gosched()
-			}
-		}
-		return
+	spins, yields := spinYieldLoop(f, want)
+	if c != nil {
+		c.spins.Add(spins)
+		c.yields.Add(yields)
 	}
-	var spins, yields uint64
-	for i := 1; f.Load() != want; i++ {
+}
+
+// spinYieldLoop is the shared spin-then-yield poll loop: the pause
+// between polls backs off exponentially (1 → 2 → … → spinYieldEvery)
+// so an early arrival stays off the flag's cacheline, and once the
+// backoff is exhausted the waiter yields to the Go scheduler between
+// polls — far more responsive under oversubscription than the old
+// fixed yield-every-128-polls modulo.
+func spinYieldLoop(f *atomic.Uint32, want uint32) (spins, yields uint64) {
+	backoff := uint32(1)
+	for f.Load() != want {
 		spins++
-		if i%spinYieldEvery == 0 {
+		if backoff < spinYieldEvery {
+			pause(backoff)
+			backoff <<= 1
+		} else {
 			yields++
 			runtime.Gosched()
 		}
 	}
-	c.spins.Add(spins)
-	c.yields.Add(yields)
+	return spins, yields
 }
 
 // SpinCounter is implemented by barriers that can count their waiters'

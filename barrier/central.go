@@ -11,14 +11,14 @@ type Central struct {
 	counter paddedUint32
 	gsense  paddedUint32
 	local   []paddedUint32 // per-participant local sense
-	spinStats
+	waitState
 }
 
 // NewCentral builds a centralized barrier for p participants.
-func NewCentral(p int) *Central {
+func NewCentral(p int, opts ...Option) *Central {
 	checkP(p, "central")
 	b := &Central{p: p, local: make([]paddedUint32, p)}
-	b.initSpin(p)
+	b.initWait(p, opts)
 	return b
 }
 
@@ -39,10 +39,10 @@ func (b *Central) Wait(id int) {
 	if int(b.counter.v.Add(1)) == b.p {
 		// Last arriver: reset for the next round, release everyone.
 		b.counter.v.Store(0)
-		b.gsense.v.Store(mySense)
+		b.signalAll(&b.gsense.v, mySense, id)
 		return
 	}
-	spinUntilEq(&b.gsense.v, mySense, b.slot(id))
+	b.wait(id, &b.gsense.v, mySense)
 }
 
 var (

@@ -13,7 +13,7 @@ type Combining struct {
 	levels [][]combiningNode
 	gsense paddedUint32
 	local  []paddedUint32 // per-participant sense
-	spinStats
+	waitState
 }
 
 type combiningNode struct {
@@ -24,7 +24,7 @@ type combiningNode struct {
 
 // NewCombining builds a combining tree barrier with the given fan-in
 // (the paper evaluates fan-in 2 as CMB).
-func NewCombining(p, fanIn int) *Combining {
+func NewCombining(p, fanIn int, opts ...Option) *Combining {
 	checkP(p, "combining")
 	if fanIn < 2 {
 		panic(fmt.Sprintf("barrier: combining fan-in %d < 2", fanIn))
@@ -42,7 +42,7 @@ func NewCombining(p, fanIn int) *Combining {
 		}
 		c.levels = append(c.levels, level)
 	}
-	c.initSpin(p)
+	c.initWait(p, opts)
 	return c
 }
 
@@ -69,13 +69,13 @@ func (c *Combining) Wait(id int) {
 	for l := range c.levels {
 		node := &c.levels[l][idx/c.fanIn]
 		if int(node.counter.v.Add(1)) != node.size {
-			spinUntilEq(&c.gsense.v, mySense, c.slot(id))
+			c.wait(id, &c.gsense.v, mySense)
 			return
 		}
 		node.counter.v.Store(0) // reset for the next round
 		idx /= c.fanIn
 	}
-	c.gsense.v.Store(mySense)
+	c.signalAll(&c.gsense.v, mySense, id)
 }
 
 var (

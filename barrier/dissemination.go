@@ -14,7 +14,7 @@ type Dissemination struct {
 	// written by the participant's round partner.
 	flags [2][][]paddedUint32
 	local []disseminationLocal
-	spinStats
+	waitState
 }
 
 type disseminationLocal struct {
@@ -24,7 +24,7 @@ type disseminationLocal struct {
 }
 
 // NewDissemination builds a dissemination barrier for p participants.
-func NewDissemination(p int) *Dissemination {
+func NewDissemination(p int, opts ...Option) *Dissemination {
 	checkP(p, "dissemination")
 	d := &Dissemination{p: p, rounds: model.DisseminationRounds(p)}
 	for par := 0; par < 2; par++ {
@@ -37,7 +37,7 @@ func NewDissemination(p int) *Dissemination {
 	for i := range d.local {
 		d.local[i].sense = 1
 	}
-	d.initSpin(p)
+	d.initWait(p, opts)
 	return d
 }
 
@@ -58,8 +58,8 @@ func (d *Dissemination) Wait(id int) {
 	stride := 1
 	for r := 0; r < d.rounds; r++ {
 		partner := (id + stride) % d.p
-		d.flags[par][r][partner].v.Store(sense)
-		spinUntilEq(&d.flags[par][r][id].v, sense, d.slot(id))
+		d.signal(&d.flags[par][r][partner].v, sense, partner)
+		d.wait(id, &d.flags[par][r][id].v, sense)
 		stride *= 2
 	}
 	if par == 1 {

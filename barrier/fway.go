@@ -84,9 +84,13 @@ type FWay struct {
 	// Wait performs no allocations.
 	children [][]int
 	ranks    []int
+	// idOfRank inverts ranks: idOfRank[ranks[id]] == id. Wait sites run
+	// in rank space but park slots are participant-indexed, so signals
+	// map back through it.
+	idOfRank []int
 	local    []paddedUint32 // per-participant sense
 	name     string
-	spinStats
+	waitState
 }
 
 type fwayCounter struct {
@@ -96,7 +100,7 @@ type fwayCounter struct {
 }
 
 // NewFWay builds an f-way tournament barrier for p participants.
-func NewFWay(p int, cfg FWayConfig) *FWay {
+func NewFWay(p int, cfg FWayConfig, opts ...Option) *FWay {
 	checkP(p, "fway")
 	if cfg.Dynamic && cfg.Wakeup != WakeGlobal {
 		panic("barrier: dynamic f-way tournament requires WakeGlobal")
@@ -135,6 +139,10 @@ func NewFWay(p int, cfg FWayConfig) *FWay {
 	if f.name == "" {
 		f.name = fwayName(cfg)
 	}
+	f.idOfRank = make([]int, p)
+	for id, r := range f.ranks {
+		f.idOfRank[r] = id
+	}
 	for r, fr := range sched {
 		groups := (f.participants[r] + fr - 1) / fr
 		switch {
@@ -171,7 +179,7 @@ func NewFWay(p int, cfg FWayConfig) *FWay {
 	default:
 		panic(fmt.Sprintf("barrier: unknown wakeup kind %d", cfg.Wakeup))
 	}
-	f.initSpin(p)
+	f.initWait(p, opts)
 	return f
 }
 
@@ -248,12 +256,11 @@ func (f *FWay) Wait(id int) {
 		return
 	}
 	rank := f.ranks[id]
-	c := f.slot(id)
 	if f.dynamic {
-		f.waitDynamic(rank, sense, c)
+		f.waitDynamic(id, rank, sense)
 		return
 	}
-	f.waitStatic(rank, sense, c)
+	f.waitStatic(id, rank, sense)
 }
 
 func (f *FWay) flag(r, idx int) *atomic.Uint32 {
@@ -263,7 +270,7 @@ func (f *FWay) flag(r, idx int) *atomic.Uint32 {
 	return &f.flagsPacked[r][idx]
 }
 
-func (f *FWay) waitStatic(rank int, sense uint32, c *spinCount) {
+func (f *FWay) waitStatic(id, rank int, sense uint32) {
 	stride := 1
 	for r := 0; r < len(f.sched); r++ {
 		fr := f.sched[r]
@@ -271,22 +278,23 @@ func (f *FWay) waitStatic(rank int, sense uint32, c *spinCount) {
 		group := pidx / fr
 		j := pidx % fr
 		if j != 0 {
-			// Statically-determined loser.
-			f.flag(r, group*(fr-1)+(j-1)).Store(sense)
-			f.wakeWait(rank, sense, c)
+			// Statically-determined loser: the group winner holds rank
+			// group*fr*stride and polls my flag.
+			f.signal(f.flag(r, group*(fr-1)+(j-1)), sense, f.idOfRank[group*fr*stride])
+			f.wakeWait(id, rank, sense)
 			return
 		}
 		for cj := 1; cj < fr; cj++ {
 			if rank+cj*stride < f.p {
-				spinUntilEq(f.flag(r, group*(fr-1)+(cj-1)), sense, c)
+				f.wait(id, f.flag(r, group*(fr-1)+(cj-1)), sense)
 			}
 		}
 		stride *= fr
 	}
-	f.wakeSignal(sense)
+	f.wakeSignal(id, sense)
 }
 
-func (f *FWay) waitDynamic(rank int, sense uint32, c *spinCount) {
+func (f *FWay) waitDynamic(id, rank int, sense uint32) {
 	idx := rank
 	for r := 0; r < len(f.sched); r++ {
 		fr := f.sched[r]
@@ -294,37 +302,37 @@ func (f *FWay) waitDynamic(rank int, sense uint32, c *spinCount) {
 		cnt := &f.counters[r][group]
 		if cnt.size > 1 {
 			if cnt.v.Add(1) != cnt.size {
-				f.wakeWait(rank, sense, c)
+				f.wakeWait(id, rank, sense)
 				return
 			}
 			cnt.v.Store(0)
 		}
 		idx = group
 	}
-	f.wakeSignal(sense)
+	f.wakeSignal(id, sense)
 }
 
 // wakeSignal runs the champion's Notification-Phase.
-func (f *FWay) wakeSignal(sense uint32) {
+func (f *FWay) wakeSignal(id int, sense uint32) {
 	if f.wakeKind == WakeGlobal {
-		f.gsense.v.Store(sense)
+		f.signalAll(&f.gsense.v, sense, id)
 		return
 	}
 	for _, c := range f.children[0] {
-		f.wakeFlag[c].v.Store(sense)
+		f.signal(&f.wakeFlag[c].v, sense, f.idOfRank[c])
 	}
 }
 
 // wakeWait blocks a non-champion until released, forwarding tree
 // releases to its own subtree.
-func (f *FWay) wakeWait(rank int, sense uint32, c *spinCount) {
+func (f *FWay) wakeWait(id, rank int, sense uint32) {
 	if f.wakeKind == WakeGlobal {
-		spinUntilEq(&f.gsense.v, sense, c)
+		f.wait(id, &f.gsense.v, sense)
 		return
 	}
-	spinUntilEq(&f.wakeFlag[rank].v, sense, c)
+	f.wait(id, &f.wakeFlag[rank].v, sense)
 	for _, kid := range f.children[rank] {
-		f.wakeFlag[kid].v.Store(sense)
+		f.signal(&f.wakeFlag[kid].v, sense, f.idOfRank[kid])
 	}
 }
 
@@ -335,11 +343,11 @@ var (
 
 // NewStaticFWay builds the original static f-way tournament (STOUR):
 // balanced fan-ins, packed flags, global wake-up.
-func NewStaticFWay(p int) *FWay {
-	return NewFWay(p, FWayConfig{Wakeup: WakeGlobal, Name: "stour"})
+func NewStaticFWay(p int, opts ...Option) *FWay {
+	return NewFWay(p, FWayConfig{Wakeup: WakeGlobal, Name: "stour"}, opts...)
 }
 
 // NewDynamicFWay builds the dynamic f-way tournament (DTOUR).
-func NewDynamicFWay(p int) *FWay {
-	return NewFWay(p, FWayConfig{Dynamic: true, Wakeup: WakeGlobal, Name: "dtour"})
+func NewDynamicFWay(p int, opts ...Option) *FWay {
+	return NewFWay(p, FWayConfig{Dynamic: true, Wakeup: WakeGlobal, Name: "dtour"}, opts...)
 }

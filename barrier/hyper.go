@@ -12,16 +12,16 @@ type Hyper struct {
 	arrive  []paddedUint32
 	release []paddedUint32
 	local   []paddedUint32 // per-participant sense
-	spinStats
+	waitState
 }
 
 // NewHyper builds the hypercube barrier with libomp's default branch
 // factor of 4.
-func NewHyper(p int) *Hyper { return NewHyperBranch(p, 4) }
+func NewHyper(p int, opts ...Option) *Hyper { return NewHyperBranch(p, 4, opts...) }
 
 // NewHyperBranch builds the hypercube barrier with an explicit branch
 // factor.
-func NewHyperBranch(p, branch int) *Hyper {
+func NewHyperBranch(p, branch int, opts ...Option) *Hyper {
 	checkP(p, "hyper")
 	if branch < 2 {
 		panic(fmt.Sprintf("barrier: hyper branch %d < 2", branch))
@@ -33,7 +33,7 @@ func NewHyperBranch(p, branch int) *Hyper {
 		release: make([]paddedUint32, p),
 		local:   make([]paddedUint32, p),
 	}
-	h.initSpin(p)
+	h.initWait(p, opts)
 	return h
 }
 
@@ -55,18 +55,19 @@ func (h *Hyper) Wait(id int) {
 	// Gather.
 	for s := 1; s < h.p; s *= b {
 		if id%(b*s) != 0 {
-			h.arrive[id].v.Store(sense)
+			// My own arrival flag is polled by my gather parent.
+			h.signal(&h.arrive[id].v, sense, id-id%(b*s))
 			break
 		}
 		for j := 1; j < b; j++ {
 			if child := id + j*s; child < h.p {
-				spinUntilEq(&h.arrive[child].v, sense, h.slot(id))
+				h.wait(id, &h.arrive[child].v, sense)
 			}
 		}
 	}
 	// Release.
 	if id != 0 {
-		spinUntilEq(&h.release[id].v, sense, h.slot(id))
+		h.wait(id, &h.release[id].v, sense)
 	}
 	top := 1
 	for top*b < h.p {
@@ -76,7 +77,7 @@ func (h *Hyper) Wait(id int) {
 		if id%(b*s) == 0 {
 			for j := 1; j < b; j++ {
 				if child := id + j*s; child < h.p {
-					h.release[child].v.Store(sense)
+					h.signal(&h.release[child].v, sense, child)
 				}
 			}
 		}

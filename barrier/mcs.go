@@ -21,7 +21,7 @@ type MCS struct {
 	// wakeKids[i] holds i's binary-tree children, precomputed so Wait
 	// performs no allocations.
 	wakeKids [][]int
-	spinStats
+	waitState
 }
 
 // mcsArrivalNode packs the 4 child flags into one line, as in the
@@ -32,7 +32,7 @@ type mcsArrivalNode struct {
 }
 
 // NewMCS builds the MCS tree barrier.
-func NewMCS(p int) *MCS {
+func NewMCS(p int, opts ...Option) *MCS {
 	checkP(p, "mcs")
 	m := &MCS{
 		p:        p,
@@ -44,7 +44,7 @@ func NewMCS(p int) *MCS {
 	for i := 0; i < p; i++ {
 		m.wakeKids[i] = model.BinaryTreeChildren(i, p)
 	}
-	m.initSpin(p)
+	m.initWait(p, opts)
 	return m
 }
 
@@ -65,18 +65,18 @@ func (m *MCS) Wait(id int) {
 	// Arrival: gather my 4-ary children, then notify my parent.
 	for j := 0; j < 4; j++ {
 		if child := 4*id + j + 1; child < m.p {
-			spinUntilEq(&m.arrive[id].child[j], sense, m.slot(id))
+			m.wait(id, &m.arrive[id].child[j], sense)
 		}
 	}
 	if id != 0 {
 		parent := (id - 1) / 4
-		m.arrive[parent].child[(id-1)%4].Store(sense)
+		m.signal(&m.arrive[parent].child[(id-1)%4], sense, parent)
 		// Wake-up: wait on my own padded flag.
-		spinUntilEq(&m.wake[id].v, sense, m.slot(id))
+		m.wait(id, &m.wake[id].v, sense)
 	}
 	// Release my binary-tree children.
 	for _, c := range m.wakeKids[id] {
-		m.wake[c].v.Store(sense)
+		m.signal(&m.wake[c].v, sense, c)
 	}
 }
 

@@ -43,7 +43,7 @@ const (
 // implementation the paper reports as 12.6x faster than GCC's barrier,
 // 4.7x faster than LLVM's, and 1.6x faster than the best prior
 // algorithm on ARMv8 many-cores.
-func NewOptimized(p int, cfg OptimizedConfig) *FWay {
+func NewOptimized(p int, cfg OptimizedConfig, opts ...Option) *FWay {
 	checkP(p, "optimized")
 	nc := 4
 	var ranks []int
@@ -81,12 +81,12 @@ func NewOptimized(p int, cfg OptimizedConfig) *FWay {
 		ClusterSize: nc,
 		Ranks:       ranks,
 		Name:        "optimized",
-	})
+	}, opts...)
 }
 
 // New returns the recommended barrier for p participants: the
 // optimized barrier with default configuration. It is the package's
 // "just give me a fast barrier" entry point.
-func New(p int) Barrier {
-	return NewOptimized(p, OptimizedConfig{})
+func New(p int, opts ...Option) Barrier {
+	return NewOptimized(p, OptimizedConfig{}, opts...)
 }

@@ -20,12 +20,12 @@ type NWayDissemination struct {
 	// flags[parity][round] has n padded slots per participant.
 	flags [2][][]paddedUint32
 	local []disseminationLocal
-	spinStats
+	waitState
 }
 
 // NewNWayDissemination builds the barrier with n partners per round.
 // n = 1 degenerates to the classic dissemination barrier.
-func NewNWayDissemination(p, n int) *NWayDissemination {
+func NewNWayDissemination(p, n int, opts ...Option) *NWayDissemination {
 	checkP(p, "ndis")
 	if n < 1 {
 		panic(fmt.Sprintf("barrier: n-way dissemination with n=%d", n))
@@ -44,7 +44,7 @@ func NewNWayDissemination(p, n int) *NWayDissemination {
 			d.flags[par][r] = make([]paddedUint32, p*n)
 		}
 	}
-	d.initSpin(p)
+	d.initWait(p, opts)
 	return d
 }
 
@@ -66,10 +66,10 @@ func (d *NWayDissemination) Wait(id int) {
 	for r := 0; r < d.rounds; r++ {
 		for m := 1; m <= d.n; m++ {
 			partner := (id + m*span) % d.p
-			d.flags[par][r][partner*d.n+(m-1)].v.Store(sense)
+			d.signal(&d.flags[par][r][partner*d.n+(m-1)].v, sense, partner)
 		}
 		for m := 1; m <= d.n; m++ {
-			spinUntilEq(&d.flags[par][r][id*d.n+(m-1)].v, sense, d.slot(id))
+			d.wait(id, &d.flags[par][r][id*d.n+(m-1)].v, sense)
 		}
 		span *= d.n + 1
 	}
@@ -102,8 +102,12 @@ type Hybrid struct {
 	// participant represents the cluster in an episode (exactly one per
 	// episode; the cluster release orders the handoff).
 	repState []disseminationLocal
-	local    []paddedUint32 // per-participant sense
-	spinStats
+	// members[c] lists the participants of cluster c: any of them can be
+	// the episode's representative, so cluster-directed signals must
+	// consider the whole group as potential waiters.
+	members [][]int
+	local   []paddedUint32 // per-participant sense
+	waitState
 }
 
 // HybridConfig configures NewHybrid. The zero value groups
@@ -118,7 +122,7 @@ type HybridConfig struct {
 }
 
 // NewHybrid builds the hybrid barrier.
-func NewHybrid(p int, cfg HybridConfig) *Hybrid {
+func NewHybrid(p int, cfg HybridConfig, opts ...Option) *Hybrid {
 	checkP(p, "hybrid")
 	cluster := make([]int, p)
 	switch {
@@ -172,8 +176,10 @@ func NewHybrid(p int, cfg HybridConfig) *Hybrid {
 		repState: make([]disseminationLocal, clusters),
 		local:    make([]paddedUint32, p),
 	}
-	for _, c := range cluster {
+	h.members = make([][]int, clusters)
+	for id, c := range cluster {
 		h.size[c]++
+		h.members[c] = append(h.members[c], id)
 	}
 	for c := range h.counter {
 		h.counter[c].size = uint32(h.size[c])
@@ -182,7 +188,7 @@ func NewHybrid(p int, cfg HybridConfig) *Hybrid {
 	for span := 1; span < clusters; span *= 2 {
 		h.rounds++
 	}
-	h.initSpin(p)
+	h.initWait(p, opts)
 	for par := 0; par < 2; par++ {
 		h.flags[par] = make([][]paddedUint32, h.rounds)
 		for r := range h.flags[par] {
@@ -210,20 +216,22 @@ func (h *Hybrid) Wait(id int) {
 	cnt := &h.counter[c]
 	if cnt.size > 1 {
 		if cnt.v.Add(1) != cnt.size {
-			spinUntilEq(&h.release[c].v, mySense, h.slot(id))
+			h.wait(id, &h.release[c].v, mySense)
 			return
 		}
 		cnt.v.Store(0)
 	}
-	// Representative: dissemination across clusters.
+	// Representative: dissemination across clusters. The partner
+	// cluster's representative is episode-dependent, so signals target
+	// the whole member group.
 	if h.clusters > 1 {
 		rs := &h.repState[c]
 		par, sense := rs.parity, rs.sense
 		span := 1
 		for r := 0; r < h.rounds; r++ {
 			partner := (c + span) % h.clusters
-			h.flags[par][r][partner].v.Store(sense)
-			spinUntilEq(&h.flags[par][r][c].v, sense, h.slot(id))
+			h.signalGroup(&h.flags[par][r][partner].v, sense, h.members[partner], id)
+			h.wait(id, &h.flags[par][r][c].v, sense)
 			span *= 2
 		}
 		if par == 1 {
@@ -231,7 +239,7 @@ func (h *Hybrid) Wait(id int) {
 		}
 		rs.parity = 1 - par
 	}
-	h.release[c].v.Store(mySense)
+	h.signalGroup(&h.release[c].v, mySense, h.members[c], id)
 }
 
 var (
@@ -248,11 +256,11 @@ type Ring struct {
 	arrive  []paddedUint32
 	release []paddedUint32
 	local   []paddedUint32 // per-participant sense
-	spinStats
+	waitState
 }
 
 // NewRing builds the ring barrier.
-func NewRing(p int) *Ring {
+func NewRing(p int, opts ...Option) *Ring {
 	checkP(p, "ring")
 	r := &Ring{
 		p:       p,
@@ -260,7 +268,7 @@ func NewRing(p int) *Ring {
 		release: make([]paddedUint32, p),
 		local:   make([]paddedUint32, p),
 	}
-	r.initSpin(p)
+	r.initWait(p, opts)
 	return r
 }
 
@@ -278,18 +286,25 @@ func (r *Ring) Wait(id int) {
 	if r.p == 1 {
 		return
 	}
+	// arrive[id] is polled by id+1 (nobody watches the last one);
+	// release[id] is polled by id-1 (nobody watches release[0]).
 	if id == 0 {
-		r.arrive[0].v.Store(sense)
+		r.signal(&r.arrive[0].v, sense, 1)
 	} else {
-		spinUntilEq(&r.arrive[id-1].v, sense, r.slot(id))
-		r.arrive[id].v.Store(sense)
+		r.wait(id, &r.arrive[id-1].v, sense)
+		next := id + 1
+		if next == r.p {
+			next = -1
+		}
+		r.signal(&r.arrive[id].v, sense, next)
 	}
 	if id == r.p-1 {
-		r.release[id].v.Store(sense)
+		r.signal(&r.release[id].v, sense, id-1)
 		return
 	}
-	spinUntilEq(&r.release[id+1].v, sense, r.slot(id))
-	r.release[id].v.Store(sense)
+	r.wait(id, &r.release[id+1].v, sense)
+	prev := id - 1 // -1 for id == 0: release[0] has no watcher
+	r.signal(&r.release[id].v, sense, prev)
 }
 
 var (

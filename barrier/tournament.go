@@ -13,18 +13,18 @@ type Tournament struct {
 	flags  [][]paddedUint32
 	gsense paddedUint32
 	local  []paddedUint32 // per-participant sense
-	spinStats
+	waitState
 }
 
 // NewTournament builds the tournament barrier.
-func NewTournament(p int) *Tournament {
+func NewTournament(p int, opts ...Option) *Tournament {
 	checkP(p, "tournament")
 	t := &Tournament{p: p, rounds: model.DisseminationRounds(p), local: make([]paddedUint32, p)}
 	t.flags = make([][]paddedUint32, t.rounds)
 	for r := range t.flags {
 		t.flags[r] = make([]paddedUint32, p)
 	}
-	t.initSpin(p)
+	t.initWait(p, opts)
 	return t
 }
 
@@ -46,17 +46,17 @@ func (t *Tournament) Wait(id int) {
 	for r := 0; r < t.rounds; r++ {
 		if id%(2*stride) != 0 {
 			// Loser: signal my winner, then wait for the release.
-			t.flags[r][id-stride].v.Store(sense)
-			spinUntilEq(&t.gsense.v, sense, t.slot(id))
+			t.signal(&t.flags[r][id-stride].v, sense, id-stride)
+			t.wait(id, &t.gsense.v, sense)
 			return
 		}
 		if loser := id + stride; loser < t.p {
-			spinUntilEq(&t.flags[r][id].v, sense, t.slot(id))
+			t.wait(id, &t.flags[r][id].v, sense)
 		}
 		stride *= 2
 	}
 	// Champion.
-	t.gsense.v.Store(sense)
+	t.signalAll(&t.gsense.v, sense, id)
 }
 
 var (

@@ -31,21 +31,27 @@ import (
 	"armbarrier/obs"
 )
 
-// algos maps command-line names to real barrier constructors.
-var algos = map[string]func(p int) barrier.Barrier{
-	"central":       func(p int) barrier.Barrier { return barrier.NewCentral(p) },
-	"dissemination": func(p int) barrier.Barrier { return barrier.NewDissemination(p) },
-	"combining":     func(p int) barrier.Barrier { return barrier.NewCombining(p, 2) },
-	"mcs":           func(p int) barrier.Barrier { return barrier.NewMCS(p) },
-	"tournament":    func(p int) barrier.Barrier { return barrier.NewTournament(p) },
-	"stour":         func(p int) barrier.Barrier { return barrier.NewStaticFWay(p) },
-	"dtour":         func(p int) barrier.Barrier { return barrier.NewDynamicFWay(p) },
-	"hyper":         func(p int) barrier.Barrier { return barrier.NewHyper(p) },
-	"optimized":     func(p int) barrier.Barrier { return barrier.New(p) },
-	"channel":       func(p int) barrier.Barrier { return barrier.NewChannel(p) },
-	"ring":          func(p int) barrier.Barrier { return barrier.NewRing(p) },
-	"hybrid":        func(p int) barrier.Barrier { return barrier.NewHybrid(p, barrier.HybridConfig{}) },
-	"ndis2":         func(p int) barrier.Barrier { return barrier.NewNWayDissemination(p, 2) },
+// algos maps command-line names to real barrier constructors. Every
+// constructor forwards the options so -wait applies across the board;
+// channel has no spin sites, so it ignores them.
+var algos = map[string]func(p int, opts ...barrier.Option) barrier.Barrier{
+	"central":       func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewCentral(p, o...) },
+	"dissemination": func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewDissemination(p, o...) },
+	"combining":     func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewCombining(p, 2, o...) },
+	"mcs":           func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewMCS(p, o...) },
+	"tournament":    func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewTournament(p, o...) },
+	"stour":         func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewStaticFWay(p, o...) },
+	"dtour":         func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewDynamicFWay(p, o...) },
+	"hyper":         func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewHyper(p, o...) },
+	"optimized":     func(p int, o ...barrier.Option) barrier.Barrier { return barrier.New(p, o...) },
+	"channel":       func(p int, _ ...barrier.Option) barrier.Barrier { return barrier.NewChannel(p) },
+	"ring":          func(p int, o ...barrier.Option) barrier.Barrier { return barrier.NewRing(p, o...) },
+	"hybrid": func(p int, o ...barrier.Option) barrier.Barrier {
+		return barrier.NewHybrid(p, barrier.HybridConfig{}, o...)
+	},
+	"ndis2": func(p int, o ...barrier.Option) barrier.Barrier {
+		return barrier.NewNWayDissemination(p, 2, o...)
+	},
 }
 
 // order fixes the display order.
@@ -68,6 +74,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		threadsFlag = fs.String("threads", "", "comma-separated participant counts (default 1,2,4,...,GOMAXPROCS)")
 		algosFlag   = fs.String("algos", "", "comma-separated algorithm names (default all)")
+		waitFlag    = fs.String("wait", "", "wait policy: spin, spinyield (default), spinpark, adaptive")
+		oversub     = fs.Bool("oversub", false, "oversubscription sweep: participants at 1x, 2x and 4x GOMAXPROCS (overrides -threads)")
 		episodes    = fs.Int("episodes", 2000, "timed barrier episodes per measurement")
 		repeats     = fs.Int("repeats", 3, "measurement repeats; the minimum is kept")
 		csv         = fs.Bool("csv", false, "emit CSV")
@@ -85,9 +93,22 @@ func run(args []string, out io.Writer) error {
 	}
 	tracing := *traceFlag || *traceout != ""
 
+	wait, err := barrier.ParseWaitPolicy(*waitFlag)
+	if err != nil {
+		return err
+	}
+	var wopts []barrier.Option
+	if wait != barrier.SpinYieldWait() {
+		wopts = append(wopts, barrier.WithWaitPolicy(wait))
+	}
+
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
 		return err
+	}
+	if *oversub {
+		procs := runtime.GOMAXPROCS(0)
+		threads = []int{procs, 2 * procs, 4 * procs}
 	}
 	names := order
 	if *algosFlag != "" {
@@ -105,7 +126,8 @@ func run(args []string, out io.Writer) error {
 	for _, p := range threads {
 		cols = append(cols, fmt.Sprintf("%dT", p))
 	}
-	title := fmt.Sprintf("Real goroutine barrier overhead (ns/barrier, GOMAXPROCS=%d)", runtime.GOMAXPROCS(0))
+	title := fmt.Sprintf("Real goroutine barrier overhead (ns/barrier, GOMAXPROCS=%d, wait=%s)",
+		runtime.GOMAXPROCS(0), wait)
 	measure := epcc.MeasureReal
 	if *regions {
 		title = fmt.Sprintf("omp parallel-region overhead (ns/region, GOMAXPROCS=%d)", runtime.GOMAXPROCS(0))
@@ -147,7 +169,8 @@ func run(args []string, out io.Writer) error {
 					return in
 				}
 			}
-			r, err := measure(algos[name], p, ropts)
+			mk := func(p int) barrier.Barrier { return algos[name](p, wopts...) }
+			r, err := measure(mk, p, ropts)
 			if err != nil {
 				return err
 			}
@@ -193,7 +216,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", *traceout)
 	}
 	if *jsonout != "" {
-		path, err := writeJSON(*jsonout, *regions, *episodes, *repeats, results, snaps)
+		path, err := writeJSON(*jsonout, *regions, *episodes, *repeats, wait.String(), results, snaps)
 		if err != nil {
 			return err
 		}
@@ -250,14 +273,16 @@ func writeChrome(path string, traced []tracedMeasurement) error {
 // from the instrumented snapshots taken after each measurement.
 func telemetryTable(snaps []obs.Snapshot) *table.Table {
 	mt := table.New("Barrier telemetry (obs.Instrument, exact per-round capture)",
-		"algorithm", "T", "rounds", "spins", "yields",
+		"algorithm", "T", "rounds", "spins", "yields", "parks", "wakes",
 		"wait p50ns", "wait p99ns", "wait maxns", "skew meanns", "skew maxns")
 	for _, s := range snaps {
-		var spins, yields uint64
+		var spins, yields, parks, wakes uint64
 		var waitMax int64
 		for _, ps := range s.PerParti {
 			spins += ps.Spins
 			yields += ps.Yields
+			parks += ps.Parks
+			wakes += ps.Wakes
 			if ps.WaitMaxNs > waitMax {
 				waitMax = ps.WaitMaxNs
 			}
@@ -266,13 +291,15 @@ func telemetryTable(snaps []obs.Snapshot) *table.Table {
 			strconv.FormatUint(s.TotalRounds(), 10),
 			strconv.FormatUint(spins, 10),
 			strconv.FormatUint(yields, 10),
+			strconv.FormatUint(parks, 10),
+			strconv.FormatUint(wakes, 10),
 			table.Cell(s.WaitQuantileNs(0.5)),
 			table.Cell(s.WaitQuantileNs(0.99)),
 			strconv.FormatInt(waitMax, 10),
 			table.Cell(s.Skew.MeanNs()),
 			strconv.FormatInt(s.Skew.MaxNs, 10))
 	}
-	mt.AddNote("spins/yields totalled across participants; wait quantiles over the merged histogram")
+	mt.AddNote("spins/yields/parks/wakes totalled across participants; wait quantiles over the merged histogram")
 	return mt
 }
 
@@ -284,6 +311,7 @@ type benchReport struct {
 	GOARCH     string         `json:"goarch"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Mode       string         `json:"mode"`
+	WaitPolicy string         `json:"wait_policy"`
 	Episodes   int            `json:"episodes"`
 	Repeats    int            `json:"repeats"`
 	Results    []epcc.Result  `json:"results"`
@@ -293,7 +321,7 @@ type benchReport struct {
 // writeJSON writes the report to dest; if dest is an existing
 // directory, a BENCH_<UTC timestamp>.json file is created inside it.
 // Returns the path actually written.
-func writeJSON(dest string, regions bool, episodes, repeats int, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
+func writeJSON(dest string, regions bool, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
 	if fi, err := os.Stat(dest); err == nil && fi.IsDir() {
 		dest = filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
 	}
@@ -308,6 +336,7 @@ func writeJSON(dest string, regions bool, episodes, repeats int, results []epcc.
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Mode:       mode,
+		WaitPolicy: wait,
 		Episodes:   episodes,
 		Repeats:    repeats,
 		Results:    results,

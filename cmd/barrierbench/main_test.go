@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -179,6 +180,53 @@ func TestTraceOutChromeJSON(t *testing.T) {
 	// -traceout alone must not print the episode report.
 	if strings.Contains(sb.String(), "Captured episodes") {
 		t.Fatalf("episode report printed without -trace:\n%s", sb.String())
+	}
+}
+
+func TestWaitPolicyFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	err := run([]string{"-wait", "spinpark", "-jsonout", path, "-threads", "2,4",
+		"-algos", "central,optimized", "-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wait=spinpark") {
+		t.Fatalf("table title does not name the wait policy:\n%s", sb.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.WaitPolicy != "spinpark" {
+		t.Fatalf("wait_policy = %q, want spinpark", rep.WaitPolicy)
+	}
+}
+
+func TestWaitPolicyUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-wait", "nap"}, &sb); err == nil {
+		t.Fatal("accepted unknown wait policy")
+	}
+}
+
+func TestOversubSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-oversub", "-wait", "spinpark", "-algos", "optimized",
+		"-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	out := sb.String()
+	for _, p := range []int{procs, 2 * procs, 4 * procs} {
+		if !strings.Contains(out, fmt.Sprintf("%dT", p)) {
+			t.Errorf("oversubscription sweep missing %dT column:\n%s", p, out)
+		}
 	}
 }
 

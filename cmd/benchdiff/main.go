@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -43,9 +44,11 @@ func main() {
 // needs; unknown fields are ignored so the formats can evolve
 // independently.
 type report struct {
-	Timestamp string        `json:"timestamp"`
-	Mode      string        `json:"mode"`
-	Results   []epcc.Result `json:"results"`
+	Timestamp  string        `json:"timestamp"`
+	Mode       string        `json:"mode"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	WaitPolicy string        `json:"wait_policy"`
+	Results    []epcc.Result `json:"results"`
 }
 
 // key identifies one measured combination across the two reports.
@@ -76,6 +79,13 @@ func run(args []string, out io.Writer) error {
 	if oldRep.Mode != newRep.Mode {
 		fmt.Fprintf(out, "note: comparing different modes (%q vs %q)\n", oldRep.Mode, newRep.Mode)
 	}
+	if oldRep.WaitPolicy != newRep.WaitPolicy {
+		fmt.Fprintf(out, "note: comparing different wait policies (%q vs %q)\n", oldRep.WaitPolicy, newRep.WaitPolicy)
+	}
+	if oldRep.GOMAXPROCS != 0 && newRep.GOMAXPROCS != 0 && oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Fprintf(out, "note: comparing different GOMAXPROCS (%d vs %d); regimes use the new report's\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
 
 	oldBy := index(oldRep.Results)
 	newBy := index(newRep.Results)
@@ -92,6 +102,9 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "%-16s %8s %12s %12s %8s\n", "algorithm", "threads", "old ns", "new ns", "delta")
 	regressions := 0
+	// Per-regime log-ratio accumulators for the geomean summary.
+	regimeLogSum := map[string]float64{}
+	regimeCount := map[string]int{}
 	for _, k := range keys {
 		o := oldBy[k]
 		n, ok := newBy[k]
@@ -106,11 +119,22 @@ func run(args []string, out io.Writer) error {
 			mark = "  REGRESSION"
 			regressions++
 		}
+		if o.OverheadNs > 0 && n.OverheadNs > 0 {
+			regime := epcc.Regime(k.threads, newRep.GOMAXPROCS)
+			regimeLogSum[regime] += math.Log(n.OverheadNs / o.OverheadNs)
+			regimeCount[regime]++
+		}
 		fmt.Fprintf(out, "%-16s %8d %12.1f %12.1f %+7.1f%%%s\n",
 			k.name, k.threads, o.OverheadNs, n.OverheadNs, delta*100, mark)
 	}
 	for k, n := range newBy {
 		fmt.Fprintf(out, "%-16s %8d %12s %12.1f %8s\n", k.name, k.threads, "-", n.OverheadNs, "new")
+	}
+	for _, regime := range []string{"dedicated", "oversubscribed"} {
+		if c := regimeCount[regime]; c > 0 {
+			geomean := math.Exp(regimeLogSum[regime] / float64(c))
+			fmt.Fprintf(out, "geomean %s: %+.1f%% over %d combination(s)\n", regime, (geomean-1)*100, c)
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)

@@ -14,9 +14,16 @@ import (
 // writeFixture marshals a minimal barrierbench report by hand so the
 // test documents the exact JSON shape benchdiff consumes.
 func writeFixture(t *testing.T, name string, results []epcc.Result) string {
+	return writeFixtureProcs(t, name, 0, "", results)
+}
+
+// writeFixtureProcs additionally records gomaxprocs and wait_policy,
+// the fields the per-regime geomean summary keys off.
+func writeFixtureProcs(t *testing.T, name string, gomaxprocs int, wait string, results []epcc.Result) string {
 	t.Helper()
 	var sb strings.Builder
-	sb.WriteString(`{"timestamp":"2026-08-05T00:00:00Z","mode":"barrier","results":[`)
+	sb.WriteString(`{"timestamp":"2026-08-05T00:00:00Z","mode":"barrier","gomaxprocs":` +
+		strconv.Itoa(gomaxprocs) + `,"wait_policy":"` + wait + `","results":[`)
 	for i, r := range results {
 		if i > 0 {
 			sb.WriteString(",")
@@ -109,6 +116,41 @@ func TestDiffDisjointCombos(t *testing.T) {
 	}
 	mustContain(t, sb.String(), "gone")
 	mustContain(t, sb.String(), "new")
+}
+
+func TestDiffGeomeanPerRegime(t *testing.T) {
+	// GOMAXPROCS 4: the 4T rows are dedicated, the 8T rows
+	// oversubscribed. Dedicated doubles (+100%), oversubscribed halves
+	// (-50%); the summary must keep the regimes apart.
+	oldPath := writeFixtureProcs(t, "old.json", 4, "spinpark", []epcc.Result{
+		{Name: "central", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+		{Name: "central", Threads: 8, OverheadNs: 4000, Episodes: 1000},
+	})
+	newPath := writeFixtureProcs(t, "new.json", 4, "spinpark", []epcc.Result{
+		{Name: "central", Threads: 4, OverheadNs: 2000, Episodes: 1000},
+		{Name: "central", Threads: 8, OverheadNs: 2000, Episodes: 1000},
+	})
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("doubled dedicated overhead should regress, got %v", err)
+	}
+	mustContain(t, sb.String(), "geomean dedicated: +100.0% over 1 combination(s)")
+	mustContain(t, sb.String(), "geomean oversubscribed: -50.0% over 1 combination(s)")
+}
+
+func TestDiffWaitPolicyMismatchNoted(t *testing.T) {
+	oldPath := writeFixtureProcs(t, "old.json", 4, "spinyield", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	newPath := writeFixtureProcs(t, "new.json", 4, "spinpark", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	mustContain(t, sb.String(), `comparing different wait policies ("spinyield" vs "spinpark")`)
 }
 
 func TestDiffBadInputs(t *testing.T) {

@@ -38,6 +38,19 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s/%d: %.1f ns/barrier over %d episodes", r.Name, r.Threads, r.OverheadNs, r.Episodes)
 }
 
+// Regime classifies a real measurement the way the benchmark tables
+// label it: "dedicated" while every participant can own a schedulable
+// core, "oversubscribed" once participants outnumber them. The two
+// regimes are different experiments — spinning policies that win
+// dedicated collapse oversubscribed — so results should never be
+// compared across the boundary.
+func Regime(threads, gomaxprocs int) string {
+	if threads > gomaxprocs {
+		return "oversubscribed"
+	}
+	return "dedicated"
+}
+
 // SimOptions configures MeasureSim.
 type SimOptions struct {
 	// Warmup and Episodes follow algo.MeasureOptions (defaults 3/10).

@@ -163,3 +163,15 @@ func TestSimOptimizedBeatsSense(t *testing.T) {
 		}
 	}
 }
+
+func TestRegime(t *testing.T) {
+	if got := Regime(8, 8); got != "dedicated" {
+		t.Errorf("Regime(8,8) = %q", got)
+	}
+	if got := Regime(4, 8); got != "dedicated" {
+		t.Errorf("Regime(4,8) = %q", got)
+	}
+	if got := Regime(16, 8); got != "oversubscribed" {
+		t.Errorf("Regime(16,8) = %q", got)
+	}
+}

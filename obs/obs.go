@@ -138,6 +138,7 @@ type Instrumented struct {
 	shards []shard
 	skew   skewAgg
 	spins  barrier.SpinCounter // nil when unavailable or disabled
+	parks  barrier.ParkCounter // nil when the barrier cannot park
 }
 
 // Instrument wraps b. When b implements barrier.SpinCounter (all spin
@@ -164,6 +165,9 @@ func Instrument(b barrier.Barrier, opts Options) *Instrumented {
 	if sc, ok := b.(barrier.SpinCounter); ok && !opts.NoSpinCounts {
 		sc.EnableSpinCounts()
 		in.spins = sc
+	}
+	if pc, ok := b.(barrier.ParkCounter); ok {
+		in.parks = pc
 	}
 	return in
 }
@@ -273,6 +277,11 @@ type ParticipantSnapshot struct {
 	// inside the wrapped barrier (0 when the barrier cannot count them).
 	Spins  uint64 `json:"spins"`
 	Yields uint64 `json:"yields"`
+	// Parks and Wakes count goroutine parks inside the wrapped barrier
+	// and the wake tokens releasers handed this participant (both 0
+	// under non-parking wait policies).
+	Parks uint64 `json:"parks"`
+	Wakes uint64 `json:"wakes"`
 	// WaitSamples is the number of rounds with full timing captured
 	// (Rounds/SampleEvery, rounded up); the wait aggregates below cover
 	// exactly these rounds. WaitHist holds log2 bucket counts (see
@@ -375,6 +384,9 @@ func (in *Instrumented) Snapshot() Snapshot {
 		if in.spins != nil {
 			ps.Spins, ps.Yields = in.spins.SpinCounts(id)
 		}
+		if in.parks != nil {
+			ps.Parks, ps.Wakes = in.parks.ParkCounts(id)
+		}
 		s.PerParti[id] = ps
 	}
 	return s
@@ -454,6 +466,8 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			Rounds:      rounds,
 			Spins:       a.Spins + b.Spins,
 			Yields:      a.Yields + b.Yields,
+			Parks:       a.Parks + b.Parks,
+			Wakes:       a.Wakes + b.Wakes,
 			WaitSamples: a.WaitSamples + b.WaitSamples,
 			WaitSumNs:   a.WaitSumNs + b.WaitSumNs,
 			WaitMaxNs:   max(a.WaitMaxNs, b.WaitMaxNs),

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 	"unsafe"
 
 	"armbarrier/barrier"
@@ -133,6 +135,56 @@ func TestInstrumentNoSpinCounts(t *testing.T) {
 	for _, ps := range in.Snapshot().PerParti {
 		if ps.Spins != 0 || ps.Yields != 0 {
 			t.Fatalf("spin counts present despite NoSpinCounts: %+v", ps)
+		}
+	}
+}
+
+func TestInstrumentParkCounts(t *testing.T) {
+	// Force parks deterministically: one proc and a sleeping straggler.
+	// While participant 0 is off in the timer, the other waiters exhaust
+	// their bounded yields with nothing runnable to hand the core to and
+	// must park.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	const p, rounds = 4, 20
+	in := Instrument(barrier.New(p, barrier.WithWaitPolicy(barrier.SpinParkWait())), Options{})
+	barrier.Run(in, func(id int) {
+		for r := 0; r < rounds; r++ {
+			if id == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+			in.Wait(id)
+		}
+	})
+	var parks, wakes uint64
+	for _, ps := range in.Snapshot().PerParti {
+		parks += ps.Parks
+		wakes += ps.Wakes
+	}
+	if parks == 0 {
+		t.Error("no parks surfaced through the ParkCounter hook")
+	}
+	if wakes == 0 {
+		t.Error("no wakes surfaced through the ParkCounter hook")
+	}
+	// Prometheus exposition must carry the new counter families.
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, in.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"armbarrier_parks_total", "armbarrier_wakes_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestInstrumentParkCountsDefaultPolicyZero(t *testing.T) {
+	in := Instrument(barrier.New(2), Options{})
+	runRounds(in, 10)
+	for _, ps := range in.Snapshot().PerParti {
+		if ps.Parks != 0 || ps.Wakes != 0 {
+			t.Fatalf("park counts present under spin-yield: %+v", ps)
 		}
 	}
 }

@@ -41,8 +41,8 @@ func BenchmarkInstrumentOverhead(b *testing.B) {
 // armedTracer builds a flight recorder whose trigger is armed but can
 // never fire — the steady-state configuration whose overhead must stay
 // in the Instrument envelope.
-func armedTracer(p int) *Tracer {
-	return Trace(barrier.New(p), TraceOptions{
+func armedTracer(p int, opts ...barrier.Option) *Tracer {
+	return Trace(barrier.New(p, opts...), TraceOptions{
 		SkewThresholdNs: 1 << 62,
 	})
 }
@@ -61,28 +61,43 @@ func TestInstrumentOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		// The race detector multiplies the cost of the wrapper's atomics
+		// far more than the barrier's spin loop, so the wall-clock budget
+		// is meaningless in -race builds; run plainly to judge it.
+		t.Skip("race detector distorts the overhead ratio")
+	}
 	const p, attempts = 8, 4
+	// Oversubscribed, a spin-yield barrier measures the scheduler, not
+	// the wrapper: P spinning goroutines on fewer cores make both the
+	// bare and wrapped timings preemption lotteries. Under SpinParkWait
+	// the waiters get off the cores, so the guard holds in both regimes
+	// — the parking policy is exactly what makes the overhead budget
+	// enforceable on oversubscribed hosts. Parking also makes the bare
+	// episode several times cheaper, so the wrapper's fixed per-round
+	// cost is a larger fraction of it; the budget widens to 15% there
+	// while the absolute overhead stays the same.
+	budget := 1.10
+	var bopts []barrier.Option
 	if runtime.NumCPU() < p {
-		// Oversubscribed spin barriers measure the scheduler, not the
-		// wrapper: P spinning goroutines on fewer cores make both the
-		// bare and wrapped timings preemption lotteries.
-		t.Skipf("%d CPUs < %d participants", runtime.NumCPU(), p)
+		bopts = append(bopts, barrier.WithWaitPolicy(barrier.SpinParkWait()))
+		budget = 1.15
 	}
 	variants := []struct {
 		name string
 		mk   func() barrier.Barrier
 	}{
-		{"instrumented", func() barrier.Barrier { return Instrument(barrier.New(p), Options{}) }},
-		{"traced", func() barrier.Barrier { return armedTracer(p) }},
+		{"instrumented", func() barrier.Barrier { return Instrument(barrier.New(p, bopts...), Options{}) }},
+		{"traced", func() barrier.Barrier { return armedTracer(p, bopts...) }},
 	}
 	best := map[string]float64{}
 	for a := 0; a < attempts; a++ {
 		bare := testing.Benchmark(func(b *testing.B) {
-			episodeLoop(b, barrier.New(p))
+			episodeLoop(b, barrier.New(p, bopts...))
 		})
 		ok := true
 		for _, v := range variants {
-			if r, judged := best[v.name]; judged && r < 1.10 {
+			if r, judged := best[v.name]; judged && r < budget {
 				continue // already within budget
 			}
 			res := testing.Benchmark(func(b *testing.B) {
@@ -94,7 +109,7 @@ func TestInstrumentOverheadGuard(t *testing.T) {
 			if prev, judged := best[v.name]; !judged || ratio < prev {
 				best[v.name] = ratio
 			}
-			if best[v.name] >= 1.10 {
+			if best[v.name] >= budget {
 				ok = false
 			}
 		}
@@ -103,9 +118,9 @@ func TestInstrumentOverheadGuard(t *testing.T) {
 		}
 	}
 	for _, v := range variants {
-		if r := best[v.name]; r >= 1.10 {
-			t.Errorf("%s overhead %.1f%% exceeds the 10%% budget (best of %d attempts)",
-				v.name, (r-1)*100, attempts)
+		if r := best[v.name]; r >= budget {
+			t.Errorf("%s overhead %.1f%% exceeds the %.0f%% budget (best of %d attempts)",
+				v.name, (r-1)*100, (budget-1)*100, attempts)
 		}
 	}
 }

@@ -32,6 +32,11 @@ type Candidate struct {
 	Wakeup algo.WakeupKind
 	// ClusterMajor groups arrival rounds cluster-by-cluster.
 	ClusterMajor bool
+	// Wait is the wait policy for the real barrier. The simulator cannot
+	// price it (it models cache traffic, not the scheduler), so Search
+	// leaves it at the spin-yield default; fill it with ChooseWaitPolicy
+	// for the regime the barrier will actually run in.
+	Wait barrier.WaitPolicy
 	// CostNs is the simulated overhead per barrier.
 	CostNs float64
 }
@@ -51,7 +56,35 @@ func (c Candidate) Name() string {
 	if c.ClusterMajor {
 		n += "-cm"
 	}
+	if c.Wait != barrier.SpinYieldWait() {
+		n += "-" + c.Wait.String()
+	}
 	return n
+}
+
+// RealOptions returns the constructor options the candidate needs on a
+// real barrier — currently just the wait policy when it differs from
+// the default. Pass them alongside RealConfig:
+//
+//	b := barrier.NewFWay(p, cfg, best.RealOptions()...)
+func (c Candidate) RealOptions() []barrier.Option {
+	if c.Wait == barrier.SpinYieldWait() {
+		return nil
+	}
+	return []barrier.Option{barrier.WithWaitPolicy(c.Wait)}
+}
+
+// ChooseWaitPolicy picks the wait discipline for a run of threads
+// participants on gomaxprocs schedulable cores: spin-yield while every
+// participant can own a core, spin-then-park as soon as participants
+// outnumber cores (a spinning waiter would burn the quantum of the very
+// goroutine it waits for). This is the decision rule the README
+// documents — choose the wait policy before tuning the tree.
+func ChooseWaitPolicy(threads, gomaxprocs int) barrier.WaitPolicy {
+	if threads > gomaxprocs {
+		return barrier.SpinParkWait()
+	}
+	return barrier.SpinYieldWait()
 }
 
 // simConfig builds the simulator-side configuration.

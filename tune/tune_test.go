@@ -74,6 +74,36 @@ func TestCandidateNames(t *testing.T) {
 	if got := c2.Name(); !strings.Contains(got, "balanced") {
 		t.Fatalf("Name = %q", got)
 	}
+	// The wait policy suffixes the name only when it departs from the
+	// default, so existing table labels stay stable.
+	c.Wait = barrier.SpinParkWait()
+	if got := c.Name(); got != "fway-f4-pad-numatree-cm-spinpark" {
+		t.Fatalf("Name with wait policy = %q", got)
+	}
+}
+
+func TestChooseWaitPolicy(t *testing.T) {
+	if got := ChooseWaitPolicy(8, 8); got != barrier.SpinYieldWait() {
+		t.Errorf("dedicated: %v", got)
+	}
+	if got := ChooseWaitPolicy(4, 8); got != barrier.SpinYieldWait() {
+		t.Errorf("undersubscribed: %v", got)
+	}
+	if got := ChooseWaitPolicy(9, 8); got != barrier.SpinParkWait() {
+		t.Errorf("oversubscribed: %v", got)
+	}
+}
+
+func TestRealOptionsApplyWaitPolicy(t *testing.T) {
+	c := Candidate{Wakeup: algo.WakeGlobal}
+	if opts := c.RealOptions(); len(opts) != 0 {
+		t.Fatalf("default candidate produced %d options", len(opts))
+	}
+	c.Wait = barrier.SpinParkWait()
+	b := barrier.NewCentral(4, c.RealOptions()...)
+	if b.WaitPolicy() != barrier.SpinParkWait() {
+		t.Fatalf("constructed barrier policy = %v", b.WaitPolicy())
+	}
 }
 
 func TestRealConfigRoundTrip(t *testing.T) {
