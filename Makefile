@@ -25,10 +25,14 @@ check: build vet fmt race
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
-# cost of a full sweep.
+# cost of a full sweep. The final run covers the fused-collective mode
+# (fused allreduce vs two-episode reduction).
 bench-smoke:
 	@for w in spin spinyield spinpark adaptive; do \
 		echo "== wait=$$w =="; \
 		$(GO) run ./cmd/barrierbench -algos optimized -threads 4 \
 			-episodes 200 -repeats 2 -wait $$w || exit 1; \
 	done
+	@echo "== collective allreduce =="
+	@$(GO) run ./cmd/barrierbench -collective allreduce -algos optimized \
+		-threads 4 -episodes 200 -repeats 2

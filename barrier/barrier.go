@@ -52,10 +52,16 @@ type Barrier interface {
 	Name() string
 }
 
-// cacheLine is the padding granularity. 128 bytes covers the 64-byte
-// lines of the studied machines plus adjacent-line prefetching, and
-// matches Kunpeng920's 128-byte L3 granularity.
-const cacheLine = 128
+// CacheLineSize is the padding granularity used throughout this
+// repository. 128 bytes covers the 64-byte lines of the studied
+// machines plus adjacent-line prefetching, and matches Kunpeng920's
+// 128-byte L3 granularity. Exported so callers placing their own
+// per-participant state (partial sums, counters) next to a barrier can
+// reuse the same discipline instead of hand-rolling `_ [120]byte`.
+const CacheLineSize = 128
+
+// cacheLine is the internal alias the padded types use.
+const cacheLine = CacheLineSize
 
 // paddedUint32 is a 32-bit flag alone on its cacheline — the paper's
 // arrival-flag padding optimization.

@@ -1,0 +1,123 @@
+package barrier
+
+// Fused in-tree collectives: allreduce, reduce and broadcast payloads
+// piggybacked on the barrier's own tree traversals, so a full
+// allreduce costs one barrier episode instead of
+// barrier + serial combine + barrier.
+//
+// The idea follows the cost model of the paper directly: the arrival
+// tree already pays one remote write (W_R) per edge to publish "I have
+// arrived", and the wake-up tree already pays one per edge to publish
+// "go". Carrying a 64-bit payload word on a cacheline that travels
+// next to those flags adds only a remote read per child on the way up
+// and a remote write per edge on the way down — nearly free compared
+// to the two extra full episodes the unfused path pays (Bertuletti et
+// al., arXiv:2307.10248, fuse barriers and data combining the same
+// way on a 1024-core cluster; Schweizer et al., arXiv:2010.09852,
+// quantify why a word riding an already-paid cacheline transfer costs
+// ~nothing under the R_L/R_R/W_L/W_R classes).
+//
+// Payload words are plain (non-atomic) uint64s, each alone on its
+// cacheline: every write is ordered before its reader by an
+// arrival-flag or wake-flag atomic the algorithms already perform, so
+// the slots are reusable round after round exactly like the sense
+// flags (see the reuse argument on each implementation).
+//
+// Discipline: collectives are barrier episodes. In any given round,
+// every participant must call the same operation (all Wait, or all
+// AllReduce with the same op, or all Broadcast with the same root) —
+// the same single-program structure MPI requires. Mixing operations
+// within one round still synchronizes but returns garbage payloads.
+
+import "math"
+
+// CombineFunc combines two 64-bit payload words. It must be
+// associative and is typically commutative; the combine order is
+// deterministic (fixed by the tree shape), but generally differs from
+// a serial left-to-right reduction, so non-commutative or
+// rounding-sensitive operators see a consistent yet tree-shaped order.
+type CombineFunc func(a, b uint64) uint64
+
+// Collective is implemented by barriers that can fuse a per-participant
+// payload into the barrier episode itself: the payload is combined up
+// the arrival tree and the result rides the wake-up back down, so the
+// whole operation costs a single (slightly heavier) episode.
+//
+// In this package the tree barriers FWay (static and dynamic, all
+// wake-up strategies — including the paper's optimized barrier from
+// NewOptimized/New) and Combining implement Collective. Flat barriers
+// (Central, Channel, ...) do not; callers should fall back to a
+// barrier-separated reduction there (omp.Team does this
+// automatically).
+type Collective interface {
+	Barrier
+	// AllReduce contributes participant id's word v, blocks until all P
+	// participants of the round have contributed, and returns the
+	// combination of all P words to every participant. It is also a full
+	// barrier: no participant returns before all have arrived.
+	AllReduce(id int, v uint64, op CombineFunc) uint64
+	// Reduce is AllReduce with a designated root, mirroring MPI_Reduce.
+	// Because the result rides the wake-up tree anyway, delivering it
+	// everywhere is free; the combined word is returned to every
+	// participant and non-root callers may simply ignore it. root only
+	// documents intent (and is validated).
+	Reduce(id, root int, v uint64, op CombineFunc) uint64
+	// Broadcast delivers root's word v to every participant, fused into
+	// one barrier episode. The v argument of non-root participants is
+	// ignored.
+	Broadcast(id, root int, v uint64) uint64
+}
+
+// paddedWord is a 64-bit payload slot alone on its cacheline. The
+// value is deliberately non-atomic: every access is ordered by an
+// arrival-flag or wake-flag atomic operation the surrounding algorithm
+// already performs, and keeping the slot plain keeps the combine loop
+// free of synchronization cost.
+type paddedWord struct {
+	v uint64
+	_ [cacheLine - 8]byte
+}
+
+// AllReduceInt64 runs a fused allreduce over int64 values. For
+// associative-and-commutative ops on int64 (sum, min, max, and, or,
+// xor) the result is bit-identical to a serial reduction regardless of
+// tree shape.
+func AllReduceInt64(c Collective, id int, v int64, op func(a, b int64) int64) int64 {
+	w := c.AllReduce(id, uint64(v), func(a, b uint64) uint64 {
+		return uint64(op(int64(a), int64(b)))
+	})
+	return int64(w)
+}
+
+// AllReduceFloat64 runs a fused allreduce over float64 values. The
+// combine order is deterministic but tree-shaped, so floating-point
+// results can differ from a serial reduction by rounding (never by
+// more than the usual reassociation error).
+func AllReduceFloat64(c Collective, id int, v float64, op func(a, b float64) float64) float64 {
+	w := c.AllReduce(id, math.Float64bits(v), func(a, b uint64) uint64 {
+		return math.Float64bits(op(math.Float64frombits(a), math.Float64frombits(b)))
+	})
+	return math.Float64frombits(w)
+}
+
+// BroadcastInt64 broadcasts root's int64 to every participant.
+func BroadcastInt64(c Collective, id, root int, v int64) int64 {
+	return int64(c.Broadcast(id, root, uint64(v)))
+}
+
+// BroadcastFloat64 broadcasts root's float64 to every participant.
+func BroadcastFloat64(c Collective, id, root int, v float64) float64 {
+	return math.Float64frombits(c.Broadcast(id, root, math.Float64bits(v)))
+}
+
+// SumInt64 is the int64 sum combine, the common reduction operator.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// SumFloat64 is the float64 sum combine.
+func SumFloat64(a, b float64) float64 { return a + b }
+
+// MinInt64 is the int64 minimum combine.
+func MinInt64(a, b int64) int64 { return min(a, b) }
+
+// MaxInt64 is the int64 maximum combine.
+func MaxInt64(a, b int64) int64 { return max(a, b) }

@@ -13,6 +13,14 @@ type Combining struct {
 	levels [][]combiningNode
 	gsense paddedUint32
 	local  []paddedUint32 // per-participant sense
+	// Fused-collective state (see collective.go): payload[l][idx] is
+	// the partial word index idx publishes at level l before its
+	// counter increment; result carries the champion's word under the
+	// global sense; bcast is the Broadcast root's word, double-buffered
+	// by sense because its readers read after release.
+	payload [][]paddedWord
+	result  paddedWord
+	bcast   [2]paddedWord
 	waitState
 }
 
@@ -41,6 +49,7 @@ func NewCombining(p, fanIn int, opts ...Option) *Combining {
 			level[g].size = size
 		}
 		c.levels = append(c.levels, level)
+		c.payload = append(c.payload, make([]paddedWord, n))
 	}
 	c.initWait(p, opts)
 	return c
@@ -78,7 +87,75 @@ func (c *Combining) Wait(id int) {
 	c.signalAll(&c.gsense.v, mySense, id)
 }
 
+// AllReduce implements Collective: every group member publishes its
+// partial word before the node-counter increment, so the last
+// arriver's increment orders all sibling payloads before its combine
+// loop; the combined word climbs with the last arriver and the
+// champion's result rides the global sense release. Combining in
+// ascending slot order keeps the result deterministic even though
+// arrival order is not. Slot reuse needs no double buffering: a
+// round-r+1 payload store happens after the writer's round-r release,
+// which happens after the round-r combine read.
+func (c *Combining) AllReduce(id int, v uint64, op CombineFunc) uint64 {
+	checkID(id, c.p, "combining")
+	mySense := 1 - c.local[id].v.Load()
+	c.local[id].v.Store(mySense)
+	if c.p == 1 {
+		return v
+	}
+	idx := id
+	for l := range c.levels {
+		node := &c.levels[l][idx/c.fanIn]
+		if node.size > 1 {
+			c.payload[l][idx].v = v
+			if int(node.counter.v.Add(1)) != node.size {
+				c.wait(id, &c.gsense.v, mySense)
+				return c.result.v
+			}
+			node.counter.v.Store(0) // reset for the next round
+			lo := (idx / c.fanIn) * c.fanIn
+			v = c.payload[l][lo].v
+			for k := 1; k < node.size; k++ {
+				v = op(v, c.payload[l][lo+k].v)
+			}
+		}
+		idx /= c.fanIn
+	}
+	c.result.v = v
+	c.signalAll(&c.gsense.v, mySense, id)
+	return v
+}
+
+// Reduce implements Collective; see the interface note — the result is
+// returned everywhere because delivering it is free.
+func (c *Combining) Reduce(id, root int, v uint64, op CombineFunc) uint64 {
+	checkID(root, c.p, "combining")
+	return c.AllReduce(id, v, op)
+}
+
+// Broadcast implements Collective: the root publishes its word before
+// its own arrival; the release chain orders every read after the
+// write. Double-buffered by sense for the same reason as
+// FWay.Broadcast.
+func (c *Combining) Broadcast(id, root int, v uint64) uint64 {
+	checkID(root, c.p, "combining")
+	checkID(id, c.p, "combining")
+	if c.p == 1 {
+		return v
+	}
+	next := 1 - c.local[id].v.Load()
+	if id == root {
+		c.bcast[next].v = v
+	}
+	c.Wait(id)
+	if id == root {
+		return v
+	}
+	return c.bcast[next].v
+}
+
 var (
 	_ Barrier     = (*Combining)(nil)
 	_ SpinCounter = (*Combining)(nil)
+	_ Collective  = (*Combining)(nil)
 )

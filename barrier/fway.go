@@ -89,7 +89,20 @@ type FWay struct {
 	// map back through it.
 	idOfRank []int
 	local    []paddedUint32 // per-participant sense
-	name     string
+	// Fused-collective state (see collective.go). payload[r][idx] is
+	// the partial combined word arrival-tree index idx publishes at
+	// round r: a loser stores its partial there before signalling its
+	// arrival flag, so the winner's flag read already orders the
+	// payload read after the write. down[rank] carries the combined
+	// result one wake-up-tree edge (written before the wake flag);
+	// result is the champion's word under the global wake-up; bcast is
+	// the Broadcast root's word, double-buffered by sense because its
+	// readers read *after* release (see FWay.Broadcast).
+	payload [][]paddedWord
+	down    []paddedWord
+	result  paddedWord
+	bcast   [2]paddedWord
+	name    string
 	waitState
 }
 
@@ -143,6 +156,10 @@ func NewFWay(p int, cfg FWayConfig, opts ...Option) *FWay {
 	for id, r := range f.ranks {
 		f.idOfRank[r] = id
 	}
+	f.payload = make([][]paddedWord, len(sched))
+	for r := range sched {
+		f.payload[r] = make([]paddedWord, f.participants[r])
+	}
 	for r, fr := range sched {
 		groups := (f.participants[r] + fr - 1) / fr
 		switch {
@@ -166,12 +183,14 @@ func NewFWay(p int, cfg FWayConfig, opts ...Option) *FWay {
 	case WakeGlobal:
 	case WakeBinaryTree:
 		f.wakeFlag = make([]paddedUint32, p)
+		f.down = make([]paddedWord, p)
 		f.children = make([][]int, p)
 		for r := 0; r < p; r++ {
 			f.children[r] = model.BinaryTreeChildren(r, p)
 		}
 	case WakeNUMATree:
 		f.wakeFlag = make([]paddedUint32, p)
+		f.down = make([]paddedWord, p)
 		f.children = make([][]int, p)
 		for r := 0; r < p; r++ {
 			f.children[r] = model.NUMATreeChildren(r, p, nc)
@@ -336,9 +355,160 @@ func (f *FWay) wakeWait(id, rank int, sense uint32) {
 	}
 }
 
+// AllReduce implements Collective: the payload is combined up the same
+// f-way tournament the arrival phase walks and the result rides the
+// configured wake-up back down, one fused episode in total.
+//
+// Slot reuse is safe without double buffering, by the same argument
+// that lets the sense flags be reused: a loser's round-r+1 payload
+// store happens after its round-r wake-up, which happens after the
+// champion's release, which happens after the parent's round-r payload
+// read. The down slots are symmetric (the parent's round-r+1 store
+// happens after the champion's round-r+1 release, which happens after
+// every participant's round-r+1 arrival, which happens after the
+// child's round-r read).
+func (f *FWay) AllReduce(id int, v uint64, op CombineFunc) uint64 {
+	checkID(id, f.p, f.name)
+	sense := 1 - f.local[id].v.Load()
+	f.local[id].v.Store(sense)
+	if f.p == 1 {
+		return v
+	}
+	rank := f.ranks[id]
+	if f.dynamic {
+		return f.allReduceDynamic(id, sense, v, op)
+	}
+	return f.allReduceStatic(id, rank, sense, v, op)
+}
+
+// Reduce implements Collective. The combined word is returned to every
+// participant (the wake-up delivers it for free); root documents
+// intent.
+func (f *FWay) Reduce(id, root int, v uint64, op CombineFunc) uint64 {
+	checkID(root, f.p, f.name)
+	return f.AllReduce(id, v, op)
+}
+
+// allReduceStatic mirrors waitStatic with the payload carried along:
+// a loser publishes its partial word before signalling its arrival
+// flag; the winner reads each child's word after seeing the flag and
+// combines in ascending child order (deterministic per tree shape).
+func (f *FWay) allReduceStatic(id, rank int, sense uint32, w uint64, op CombineFunc) uint64 {
+	stride := 1
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		pidx := rank / stride
+		group := pidx / fr
+		j := pidx % fr
+		if j != 0 {
+			f.payload[r][pidx].v = w
+			f.signal(f.flag(r, group*(fr-1)+(j-1)), sense, f.idOfRank[group*fr*stride])
+			return f.wakeWaitFused(id, rank, sense)
+		}
+		for cj := 1; cj < fr; cj++ {
+			if rank+cj*stride < f.p {
+				f.wait(id, f.flag(r, group*(fr-1)+(cj-1)), sense)
+				w = op(w, f.payload[r][group*fr+cj].v)
+			}
+		}
+		stride *= fr
+	}
+	f.wakeSignalFused(id, sense, w)
+	return w
+}
+
+// allReduceDynamic mirrors waitDynamic: every group member publishes
+// its word before the atomic counter increment, so the last arriver's
+// increment orders all sibling payloads before its combine loop. The
+// combine reads slots in ascending index order, keeping the result
+// deterministic even though arrival order is not. Dynamic tournaments
+// always use the global wake-up.
+func (f *FWay) allReduceDynamic(id int, sense uint32, w uint64, op CombineFunc) uint64 {
+	idx := f.ranks[id]
+	for r := 0; r < len(f.sched); r++ {
+		fr := f.sched[r]
+		group := idx / fr
+		cnt := &f.counters[r][group]
+		if cnt.size > 1 {
+			f.payload[r][idx].v = w
+			if cnt.v.Add(1) != cnt.size {
+				f.wait(id, &f.gsense.v, sense)
+				return f.result.v
+			}
+			cnt.v.Store(0)
+			lo := group * fr
+			w = f.payload[r][lo].v
+			for k := 1; k < int(cnt.size); k++ {
+				w = op(w, f.payload[r][lo+k].v)
+			}
+		}
+		idx = group
+	}
+	f.result.v = w
+	f.signalAll(&f.gsense.v, sense, id)
+	return w
+}
+
+// wakeSignalFused is the champion's Notification-Phase with the result
+// riding along: stored before the wake flag so every waiter's flag
+// read orders its result read after this write.
+func (f *FWay) wakeSignalFused(id int, sense uint32, w uint64) {
+	if f.wakeKind == WakeGlobal {
+		f.result.v = w
+		f.signalAll(&f.gsense.v, sense, id)
+		return
+	}
+	for _, c := range f.children[0] {
+		f.down[c].v = w
+		f.signal(&f.wakeFlag[c].v, sense, f.idOfRank[c])
+	}
+}
+
+// wakeWaitFused blocks a non-champion until released, reads the result
+// off its wake edge, and forwards both release and result down its own
+// subtree.
+func (f *FWay) wakeWaitFused(id, rank int, sense uint32) uint64 {
+	if f.wakeKind == WakeGlobal {
+		f.wait(id, &f.gsense.v, sense)
+		return f.result.v
+	}
+	f.wait(id, &f.wakeFlag[rank].v, sense)
+	w := f.down[rank].v
+	for _, kid := range f.children[rank] {
+		f.down[kid].v = w
+		f.signal(&f.wakeFlag[kid].v, sense, f.idOfRank[kid])
+	}
+	return w
+}
+
+// Broadcast implements Collective: the root publishes its word before
+// its own arrival, the episode's release chain orders every read after
+// that write, and everyone picks the word up after release. Readers
+// read *after* release, so — unlike the up/down payload slots — a
+// round-r read can race a round-r+1 root write; double buffering by
+// sense separates the two (accesses to the same slot are then two full
+// rounds apart, which the release chain does order).
+func (f *FWay) Broadcast(id, root int, v uint64) uint64 {
+	checkID(root, f.p, f.name)
+	checkID(id, f.p, f.name)
+	if f.p == 1 {
+		return v
+	}
+	next := 1 - f.local[id].v.Load()
+	if id == root {
+		f.bcast[next].v = v
+	}
+	f.Wait(id)
+	if id == root {
+		return v
+	}
+	return f.bcast[next].v
+}
+
 var (
 	_ Barrier     = (*FWay)(nil)
 	_ SpinCounter = (*FWay)(nil)
+	_ Collective  = (*FWay)(nil)
 )
 
 // NewStaticFWay builds the original static f-way tournament (STOUR):

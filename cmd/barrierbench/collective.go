@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+
+	"armbarrier/barrier"
+	"armbarrier/epcc"
+	"armbarrier/internal/table"
+)
+
+// runCollective is the -collective allreduce mode: for every selected
+// algorithm and thread count it measures the bare barrier episode, the
+// fused allreduce episode (collective-capable algorithms only), and
+// the unfused barrier + serial combine + barrier pattern, and reports
+// the two ratios the fused design is judged by — fused/barrier (how
+// much heavier a piggybacked episode is) and 2ep/fused (the speedup
+// over the classic pattern).
+func runCollective(out io.Writer, names []string, threads []int, wopts []barrier.Option, wait string, episodes, repeats int, csv bool, jsonout string) error {
+	tb := table.New(
+		fmt.Sprintf("Fused allreduce vs two-episode reduction (ns, GOMAXPROCS=%d, wait=%s)",
+			runtime.GOMAXPROCS(0), wait),
+		"algorithm", "T", "barrier", "fused", "2ep", "fused/barrier", "speedup")
+	var results []epcc.Result
+	for _, name := range names {
+		for _, p := range threads {
+			mk := func(p int) barrier.Barrier { return algos[name](p, wopts...) }
+			ropts := epcc.RealOptions{Episodes: episodes, Repeats: repeats}
+			bare, err := epcc.MeasureReal(mk, p, ropts)
+			if err != nil {
+				return err
+			}
+			unfused, err := epcc.MeasureUnfusedAllReduce(mk, p, ropts)
+			if err != nil {
+				return err
+			}
+			results = append(results, bare, unfused)
+			if _, ok := mk(p).(barrier.Collective); !ok {
+				tb.AddRow(name, strconv.Itoa(p), table.Cell(bare.OverheadNs),
+					"-", table.Cell(unfused.OverheadNs), "-", "-")
+				continue
+			}
+			fused, err := epcc.MeasureFusedAllReduce(mk, p, ropts)
+			if err != nil {
+				return err
+			}
+			results = append(results, fused)
+			ratio, speedup := "-", "-"
+			if bare.OverheadNs > 0 && fused.OverheadNs > 0 {
+				ratio = fmt.Sprintf("%.2fx", fused.OverheadNs/bare.OverheadNs)
+				speedup = fmt.Sprintf("%.2fx", unfused.OverheadNs/fused.OverheadNs)
+			}
+			tb.AddRow(name, strconv.Itoa(p), table.Cell(bare.OverheadNs),
+				table.Cell(fused.OverheadNs), table.Cell(unfused.OverheadNs), ratio, speedup)
+		}
+	}
+	tb.AddNote("fused = one piggybacked allreduce episode; 2ep = barrier + serial combine + barrier")
+	tb.AddNote("algorithms without a fused path (no barrier.Collective) show '-' and keep the 2ep baseline")
+	tb.AddNote("EPCC methodology: minimum of %d repeats of %d episodes, reference loop subtracted", repeats, episodes)
+	if csv {
+		fmt.Fprint(out, tb.CSV())
+	} else {
+		fmt.Fprint(out, tb.Render())
+	}
+	if jsonout != "" {
+		path, err := writeJSON(jsonout, "allreduce", episodes, repeats, wait, results, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	barrierbench -threads 2,4,8         # custom sweep
 //	barrierbench -algos central,optimized -episodes 5000
 //	barrierbench -metrics               # live telemetry table per algo x P
+//	barrierbench -collective allreduce  # fused allreduce vs two-episode reduction
 //	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
 //	barrierbench -trace -tracetop 3     # flight recorder: worst episodes as Gantt
 //	barrierbench -traceout trace.json   # episodes as Chrome/Perfetto trace JSON
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		algosFlag   = fs.String("algos", "", "comma-separated algorithm names (default all)")
 		waitFlag    = fs.String("wait", "", "wait policy: spin, spinyield (default), spinpark, adaptive")
 		oversub     = fs.Bool("oversub", false, "oversubscription sweep: participants at 1x, 2x and 4x GOMAXPROCS (overrides -threads)")
+		collective  = fs.String("collective", "", "collective mode: 'allreduce' benchmarks fused vs barrier-separated reduction per algorithm")
 		episodes    = fs.Int("episodes", 2000, "timed barrier episodes per measurement")
 		repeats     = fs.Int("repeats", 3, "measurement repeats; the minimum is kept")
 		csv         = fs.Bool("csv", false, "emit CSV")
@@ -120,6 +122,14 @@ func run(args []string, out io.Writer) error {
 			}
 			names = append(names, n)
 		}
+	}
+
+	switch *collective {
+	case "":
+	case "allreduce":
+		return runCollective(out, names, threads, wopts, wait.String(), *episodes, *repeats, *csv, *jsonout)
+	default:
+		return fmt.Errorf("unknown -collective mode %q (have allreduce)", *collective)
 	}
 
 	cols := []string{"algorithm"}
@@ -216,7 +226,11 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", *traceout)
 	}
 	if *jsonout != "" {
-		path, err := writeJSON(*jsonout, *regions, *episodes, *repeats, wait.String(), results, snaps)
+		mode := "barrier"
+		if *regions {
+			mode = "parallel-region"
+		}
+		path, err := writeJSON(*jsonout, mode, *episodes, *repeats, wait.String(), results, snaps)
 		if err != nil {
 			return err
 		}
@@ -321,13 +335,9 @@ type benchReport struct {
 // writeJSON writes the report to dest; if dest is an existing
 // directory, a BENCH_<UTC timestamp>.json file is created inside it.
 // Returns the path actually written.
-func writeJSON(dest string, regions bool, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
+func writeJSON(dest string, mode string, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
 	if fi, err := os.Stat(dest); err == nil && fi.IsDir() {
 		dest = filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
-	}
-	mode := "barrier"
-	if regions {
-		mode = "parallel-region"
 	}
 	rep := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

@@ -183,6 +183,67 @@ func TestTraceOutChromeJSON(t *testing.T) {
 	}
 }
 
+func TestCollectiveMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-collective", "allreduce", "-threads", "2,4",
+		"-algos", "central,optimized", "-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Fused allreduce vs two-episode reduction",
+		"fused/barrier", "speedup", "central", "optimized",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("collective output missing %q:\n%s", want, out)
+		}
+	}
+	// central has no fused path; its rows must show the '-' placeholder.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "central") && !strings.Contains(line, "-") {
+			t.Errorf("central row missing placeholder: %s", line)
+		}
+	}
+}
+
+func TestCollectiveJSONOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	err := run([]string{"-collective", "allreduce", "-jsonout", path, "-threads", "2",
+		"-algos", "optimized", "-episodes", "50", "-repeats", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Mode != "allreduce" {
+		t.Fatalf("mode = %q, want allreduce", rep.Mode)
+	}
+	names := map[string]bool{}
+	for _, r := range rep.Results {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"optimized", "optimized+ar-fused", "optimized+ar-2ep"} {
+		if !names[want] {
+			t.Errorf("results missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestCollectiveUnknownMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-collective", "gather"}, &sb); err == nil {
+		t.Fatal("accepted unknown collective mode")
+	}
+}
+
 func TestWaitPolicyFlag(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var sb strings.Builder

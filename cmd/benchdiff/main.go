@@ -12,6 +12,11 @@
 // slots directly into CI or a pre-merge script. Improvements and
 // combinations present in only one report are listed but never fail
 // the run.
+//
+// Collective results from `barrierbench -collective allreduce` carry
+// the "+ar-fused" and "+ar-2ep" name suffixes; they diff like any
+// other name, and when the new report holds both halves of a pair the
+// tool additionally prints the geomean fused-over-unfused speedup.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"armbarrier/epcc"
 )
@@ -136,6 +142,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "geomean %s: %+.1f%% over %d combination(s)\n", regime, (geomean-1)*100, c)
 		}
 	}
+	printFusedSpeedup(out, newRep.Results)
 	if regressions > 0 {
 		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
 		return errRegression
@@ -157,6 +164,35 @@ func load(path string) (report, error) {
 		return report{}, fmt.Errorf("%s: no results", path)
 	}
 	return rep, nil
+}
+
+// printFusedSpeedup pairs the collective results written by
+// `barrierbench -collective allreduce` — "<algo>+ar-fused" against
+// "<algo>+ar-2ep" at the same thread count — and reports the geomean
+// speedup of the fused path in the new report. Reports without
+// collective results print nothing.
+func printFusedSpeedup(out io.Writer, rs []epcc.Result) {
+	fused := map[key]float64{}
+	unfused := map[key]float64{}
+	for _, r := range rs {
+		if base, ok := strings.CutSuffix(r.Name, epcc.FusedSuffix); ok {
+			fused[key{base, r.Threads}] = r.OverheadNs
+		} else if base, ok := strings.CutSuffix(r.Name, epcc.UnfusedSuffix); ok {
+			unfused[key{base, r.Threads}] = r.OverheadNs
+		}
+	}
+	var logSum float64
+	n := 0
+	for k, f := range fused {
+		if u, ok := unfused[k]; ok && f > 0 && u > 0 {
+			logSum += math.Log(u / f)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(out, "geomean fused allreduce speedup (new report): %.2fx over %d pair(s)\n",
+			math.Exp(logSum/float64(n)), n)
+	}
 }
 
 func index(rs []epcc.Result) map[key]epcc.Result {

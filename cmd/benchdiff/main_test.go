@@ -153,6 +153,42 @@ func TestDiffWaitPolicyMismatchNoted(t *testing.T) {
 	mustContain(t, sb.String(), `comparing different wait policies ("spinyield" vs "spinpark")`)
 }
 
+func TestDiffFusedSpeedupSummary(t *testing.T) {
+	// The new report carries collective pairs for two combinations:
+	// optimized/4T is 2x faster fused, optimized/8T is 8x; the geomean
+	// is 4x. The stray fused result without a 2ep partner is ignored.
+	results := []epcc.Result{
+		{Name: "optimized" + epcc.FusedSuffix, Threads: 4, OverheadNs: 500, Episodes: 1000},
+		{Name: "optimized" + epcc.UnfusedSuffix, Threads: 4, OverheadNs: 1000, Episodes: 1000},
+		{Name: "optimized" + epcc.FusedSuffix, Threads: 8, OverheadNs: 500, Episodes: 1000},
+		{Name: "optimized" + epcc.UnfusedSuffix, Threads: 8, OverheadNs: 4000, Episodes: 1000},
+		{Name: "combining" + epcc.FusedSuffix, Threads: 4, OverheadNs: 700, Episodes: 1000},
+	}
+	oldPath := writeFixture(t, "old.json", results)
+	newPath := writeFixture(t, "new.json", results)
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	mustContain(t, sb.String(), "geomean fused allreduce speedup (new report): 4.00x over 2 pair(s)")
+}
+
+func TestDiffNoFusedSummaryWithoutPairs(t *testing.T) {
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fused allreduce speedup") {
+		t.Fatalf("fused summary printed for a report without collective results:\n%s", sb.String())
+	}
+}
+
 func TestDiffBadInputs(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"only-one.json"}, &sb); err == nil {

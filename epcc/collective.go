@@ -1,0 +1,167 @@
+package epcc
+
+// This file measures collectives: the fused allreduce (one
+// piggybacked episode) versus the unfused pattern every runtime
+// without fused collectives pays — publish partials, barrier, serial
+// combine by one participant, barrier. Both subtract the same no-op
+// reference loop, so the two names are directly comparable and a
+// fused/unfused ratio is the real-substrate analogue of
+// model.PredictFusedSpeedup.
+
+import (
+	"fmt"
+	"time"
+
+	"armbarrier/barrier"
+)
+
+// FusedSuffix and UnfusedSuffix tag collective Result names:
+// "<algorithm>+ar-fused" is one fused allreduce per episode,
+// "<algorithm>+ar-2ep" the barrier-separated two-episode reduction.
+// cmd/benchdiff pairs the two to report fused speedups.
+const (
+	FusedSuffix   = "+ar-fused"
+	UnfusedSuffix = "+ar-2ep"
+)
+
+// MeasureFusedAllReduce measures the per-episode overhead of a fused
+// int64-sum allreduce on a collective-capable barrier. The constructed
+// barrier (after opts.Wrap, if any) must implement barrier.Collective.
+func MeasureFusedAllReduce(mk func(p int) barrier.Barrier, threads int, opts RealOptions) (Result, error) {
+	return measureCollective(mk, threads, opts, true)
+}
+
+// MeasureUnfusedAllReduce measures the same int64-sum allreduce as the
+// two-episode pattern: each participant publishes its padded partial,
+// a barrier episode, participant 0 serially combines all P partials
+// into a shared result, and a second barrier episode releases the
+// result to everyone. Works on any barrier.
+func MeasureUnfusedAllReduce(mk func(p int) barrier.Barrier, threads int, opts RealOptions) (Result, error) {
+	return measureCollective(mk, threads, opts, false)
+}
+
+// paddedResult keeps the unfused pattern's shared slots off each
+// other's cachelines, matching the fused path's padding discipline.
+type paddedResult struct {
+	v int64
+	_ [barrier.CacheLineSize - 8]byte
+}
+
+func measureCollective(mk func(p int) barrier.Barrier, threads int, opts RealOptions, fused bool) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("epcc: %d threads", threads)
+	}
+	episodes := opts.Episodes
+	if episodes == 0 {
+		episodes = 1000
+	}
+	repeats := opts.Repeats
+	if repeats == 0 {
+		repeats = 3
+	}
+	if episodes < 1 || repeats < 1 {
+		return Result{}, fmt.Errorf("epcc: bad options %+v", opts)
+	}
+	b := mk(threads)
+	if b.Participants() != threads {
+		return Result{}, fmt.Errorf("epcc: barrier has %d participants, want %d", b.Participants(), threads)
+	}
+	if opts.Wrap != nil {
+		b = opts.Wrap(b)
+		if b == nil || b.Participants() != threads {
+			return Result{}, fmt.Errorf("epcc: Wrap changed the barrier shape")
+		}
+	}
+	var run func(episodes int) time.Duration
+	name := b.Name()
+	if fused {
+		col, ok := b.(barrier.Collective)
+		if !ok {
+			return Result{}, fmt.Errorf("epcc: %s does not implement barrier.Collective", name)
+		}
+		name += FusedSuffix
+		run = func(episodes int) time.Duration { return runFusedEpisodes(col, episodes) }
+	} else {
+		name += UnfusedSuffix
+		run = func(episodes int) time.Duration { return runUnfusedEpisodes(b, episodes) }
+	}
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < repeats; r++ {
+		run(episodes/10 + 1) // warm-up
+		if d := run(episodes); d < best {
+			best = d
+		}
+	}
+	ref := referenceLoop(threads, episodes)
+	overhead := (best - ref).Nanoseconds()
+	if overhead < 0 {
+		overhead = 0
+	}
+	return Result{
+		Name:       name,
+		Threads:    threads,
+		OverheadNs: float64(overhead) / float64(episodes),
+		Episodes:   episodes,
+	}, nil
+}
+
+// runFusedEpisodes times `episodes` fused allreduce episodes and
+// checks every result, so a payload-propagation bug fails loudly
+// instead of producing a fast-but-wrong number.
+func runFusedEpisodes(c barrier.Collective, episodes int) time.Duration {
+	p := c.Participants()
+	errs := make(chan error, p)
+	start := time.Now()
+	barrier.Run(c, func(id int) {
+		for e := 0; e < episodes; e++ {
+			got := barrier.AllReduceInt64(c, id, int64(id+e), barrier.SumInt64)
+			if wantE := int64(p*(p-1)/2) + int64(p*e); got != wantE {
+				select {
+				case errs <- fmt.Errorf("episode %d: allreduce returned %d, want %d", e, got, wantE):
+				default:
+				}
+				return
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		panic(err) // measurement code; a wrong reduction is a library bug
+	default:
+	}
+	return elapsed
+}
+
+// runUnfusedEpisodes times the two-episode reduction: publish padded
+// partial, barrier, participant 0 combines serially, barrier, read the
+// shared result.
+func runUnfusedEpisodes(b barrier.Barrier, episodes int) time.Duration {
+	p := b.Participants()
+	partial := make([]paddedResult, p)
+	var result paddedResult
+	var sink int64
+	start := time.Now()
+	barrier.Run(b, func(id int) {
+		var local int64
+		for e := 0; e < episodes; e++ {
+			partial[id].v = int64(id + e)
+			b.Wait(id)
+			if id == 0 {
+				var s int64
+				for i := range partial {
+					s += partial[i].v
+				}
+				result.v = s
+			}
+			b.Wait(id)
+			local += result.v
+		}
+		if id == 0 {
+			sink = local
+		}
+	})
+	elapsed := time.Since(start)
+	_ = sink
+	return elapsed
+}

@@ -1,0 +1,81 @@
+package epcc
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+func TestMeasureFusedAllReduce(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.New(p) }
+	r, err := MeasureFusedAllReduce(mk, 4, RealOptions{Episodes: 100, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(r.Name, FusedSuffix) {
+		t.Errorf("name %q missing fused suffix", r.Name)
+	}
+	if r.Threads != 4 || r.Episodes != 100 || r.OverheadNs < 0 {
+		t.Errorf("result fields wrong: %+v", r)
+	}
+}
+
+func TestMeasureUnfusedAllReduce(t *testing.T) {
+	// The unfused pattern needs no Collective; a flat central barrier
+	// must work.
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	r, err := MeasureUnfusedAllReduce(mk, 3, RealOptions{Episodes: 100, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(r.Name, UnfusedSuffix) {
+		t.Errorf("name %q missing unfused suffix", r.Name)
+	}
+}
+
+func TestMeasureFusedRequiresCollective(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	if _, err := MeasureFusedAllReduce(mk, 4, RealOptions{Episodes: 50, Repeats: 1}); err == nil {
+		t.Fatal("accepted a barrier without a fused path")
+	}
+}
+
+func TestMeasureCollectiveBadInputs(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.New(p) }
+	if _, err := MeasureFusedAllReduce(mk, 0, RealOptions{}); err == nil {
+		t.Fatal("accepted 0 threads")
+	}
+	if _, err := MeasureUnfusedAllReduce(mk, 2, RealOptions{Episodes: -1}); err == nil {
+		t.Fatal("accepted negative episodes")
+	}
+}
+
+func TestMeasureFusedSingleThread(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.New(p) }
+	if _, err := MeasureFusedAllReduce(mk, 1, RealOptions{Episodes: 50, Repeats: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureCollectiveWrap(t *testing.T) {
+	// Wrap output must be re-checked for Collective: a wrapper that
+	// drops the fused path has to be rejected, not crash.
+	mk := func(p int) barrier.Barrier { return barrier.New(p) }
+	opts := RealOptions{Episodes: 50, Repeats: 1,
+		Wrap: func(b barrier.Barrier) barrier.Barrier { return plainWrapper{b} }}
+	if _, err := MeasureFusedAllReduce(mk, 2, opts); err == nil {
+		t.Fatal("accepted a wrapper without a fused path")
+	}
+	if _, err := MeasureUnfusedAllReduce(mk, 2, opts); err != nil {
+		t.Fatalf("unfused measurement should not need Collective: %v", err)
+	}
+}
+
+// plainWrapper forwards the Barrier interface only, hiding any
+// Collective the inner barrier implements.
+type plainWrapper struct{ inner barrier.Barrier }
+
+func (w plainWrapper) Wait(id int)       { w.inner.Wait(id) }
+func (w plainWrapper) Participants() int { return w.inner.Participants() }
+func (w plainWrapper) Name() string      { return w.inner.Name() }

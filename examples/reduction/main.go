@@ -4,6 +4,11 @@
 // barriers decreases", as the paper's introduction puts it), the
 // barrier choice dominates the run time.
 //
+// Collective-capable barriers additionally run a fused variant where
+// the whole combine tree collapses into one AllReduce episode — the
+// payload rides the barrier's own arrival and wake-up trees — and the
+// per-round speedup over the phase-separated reduction is printed.
+//
 //	go run ./examples/reduction
 package main
 
@@ -20,17 +25,18 @@ const (
 	rounds  = 200
 )
 
+// padded keeps each worker's running value on its own cacheline to
+// avoid false sharing (the same trick the paper applies to arrival
+// flags).
+type padded struct {
+	v int64
+	_ [barrier.CacheLineSize - 8]byte
+}
+
 // reduce sums `data` with a binary-tree reduction: log2(workers)
 // combine phases, one barrier between phases. It repeats the reduction
 // `rounds` times to amplify the synchronization cost.
 func reduce(b barrier.Barrier, data []int64) (int64, time.Duration) {
-	// partial[w] is worker w's running value; padded to avoid false
-	// sharing between workers (the same trick the paper applies to
-	// arrival flags).
-	type padded struct {
-		v int64
-		_ [120]byte
-	}
 	partial := make([]padded, workers)
 	start := time.Now()
 	barrier.Run(b, func(id int) {
@@ -56,6 +62,26 @@ func reduce(b barrier.Barrier, data []int64) (int64, time.Duration) {
 	return partial[0].v, time.Since(start)
 }
 
+// reduceFused performs the same summation, but the entire combine tree
+// is one fused allreduce per round: the local sum rides up the
+// barrier's arrival tree and the total rides back down its wake-up
+// tree, so log2(workers)+1 episodes become one.
+func reduceFused(c barrier.Collective, data []int64) (int64, time.Duration) {
+	total := make([]padded, workers)
+	start := time.Now()
+	barrier.Run(c, func(id int) {
+		chunk := len(data) / workers
+		for r := 0; r < rounds; r++ {
+			var s int64
+			for _, v := range data[id*chunk : (id+1)*chunk] {
+				s += v
+			}
+			total[id].v = barrier.AllReduceInt64(c, id, s, barrier.SumInt64)
+		}
+	})
+	return total[0].v, time.Since(start)
+}
+
 func main() {
 	data := make([]int64, n)
 	var want int64
@@ -79,5 +105,18 @@ func main() {
 			status = fmt.Sprintf("WRONG (want %d)", want)
 		}
 		fmt.Printf("%-14s sum=%-8d %-8s %v\n", b.Name(), got, status, elapsed)
+		c, ok := b.(barrier.Collective)
+		if !ok {
+			continue
+		}
+		fgot, felapsed := reduceFused(c, data)
+		status = "ok"
+		if fgot != want {
+			status = fmt.Sprintf("WRONG (want %d)", want)
+		}
+		perRound := felapsed / rounds
+		fmt.Printf("%-14s sum=%-8d %-8s %v  (%v/round, %.2fx vs phased)\n",
+			b.Name()+"+fused", fgot, status, felapsed, perRound,
+			float64(elapsed)/float64(felapsed))
 	}
 }

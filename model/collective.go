@@ -1,0 +1,95 @@
+package model
+
+import "armbarrier/topology"
+
+// Fused-collective cost terms: what carrying a payload word on the
+// barrier's tree traversals adds, in the paper's four memory-op
+// classes (Section III-B).
+//
+// Up the arrival tree, the loser's payload store lands on an unshared
+// padded line (a local write with no sharers, O_{W_L} = ε) and the
+// winner pays one extra remote read O_{R_R} = L per child to fetch it
+// — the flag transfer it already pays for has warmed the same path.
+// Down the wake-up, the result is one extra remote write O_{W_R} =
+// (1+α)·L per tree edge (the parent fetches the child's result line
+// and invalidates the child's stale copy), or — under the global
+// wake-up (Equation 3) — a second globally-polled line whose store
+// invalidates P−1 copies and whose P−1 readers refill it, i.e. the
+// Equation 3 shape again.
+//
+// The unfused alternative costs two full barrier episodes plus a
+// serial combine of P−1 remote reads, which is why the fused episode
+// wins despite its extra terms: compare PredictFusedNs against
+// 2·PredictBarrierNs + (P−1)·L.
+
+// FusedArrivalExtraNs returns the extra Arrival-Phase cost of
+// combining payloads up a static f-way tree over P threads: per level
+// the winner performs f−1 remote payload reads at L each; the losers'
+// payload stores are unshared local writes (ε ≈ 0).
+func FusedArrivalExtraNs(P, f int, L float64) float64 {
+	if P <= 1 {
+		return 0
+	}
+	return float64(ArrivalLevels(P, f)) * float64(f-1) * L
+}
+
+// FusedGlobalWakeupExtraNs returns the extra Notification-Phase cost
+// of delivering the result through a second globally-polled cacheline
+// next to the global sense: the same (P−1)·α invalidation + refill +
+// contention shape as Equation 3.
+func FusedGlobalWakeupExtraNs(P int, L, alpha, c float64) float64 {
+	return GlobalWakeupCost(P, L, alpha, c)
+}
+
+// FusedTreeWakeupExtraNs returns the extra Notification-Phase cost of
+// carrying the result one remote write W_R = (1+α)·L per binary-tree
+// level — the same per-level shape as Equation 4, since the wake-up
+// store is exactly one W_R per level too.
+func FusedTreeWakeupExtraNs(P int, L, alpha float64) float64 {
+	return TreeWakeupCost(P, L, alpha)
+}
+
+// PredictFusedNs estimates a fused allreduce episode on the paper's
+// optimized design at P threads: PredictBarrierNs plus the payload
+// extras of the recommended fan-in and whichever wake-up the barrier
+// model picks (matching PredictBarrierNs's choice).
+func PredictFusedNs(m *topology.Machine, P int) float64 {
+	if P <= 1 {
+		return 0
+	}
+	ly := topology.Layer(len(m.Latency) - 1)
+	L := m.LayerLatency(ly)
+	f := RecommendedFanIn(m)
+	base := ArrivalCost(P, f, L, m.Alpha) + FusedArrivalExtraNs(P, f, L)
+	tg := GlobalWakeupCost(P, L, m.Alpha, m.ReadContention)
+	tt := TreeWakeupCost(P, L, m.Alpha)
+	if tt < tg {
+		return base + tt + FusedTreeWakeupExtraNs(P, L, m.Alpha)
+	}
+	return base + tg + FusedGlobalWakeupExtraNs(P, L, m.Alpha, m.ReadContention)
+}
+
+// FusedOverheadRatio returns the predicted cost of a fused allreduce
+// episode relative to a bare barrier episode (≥ 1; the paper-shaped
+// extras keep it well under 2 because every added term rides a tree
+// edge the barrier already traverses).
+func FusedOverheadRatio(m *topology.Machine, P int) float64 {
+	if P <= 1 {
+		return 1
+	}
+	return PredictFusedNs(m, P) / PredictBarrierNs(m, P)
+}
+
+// PredictFusedSpeedup returns the predicted speedup of the fused
+// allreduce over the unfused barrier + serial combine + barrier
+// pattern, whose cost is two full episodes plus P−1 remote reads of
+// the per-thread partials.
+func PredictFusedSpeedup(m *topology.Machine, P int) float64 {
+	if P <= 1 {
+		return 1
+	}
+	ly := topology.Layer(len(m.Latency) - 1)
+	L := m.LayerLatency(ly)
+	unfused := 2*PredictBarrierNs(m, P) + float64(P-1)*L
+	return unfused / PredictFusedNs(m, P)
+}

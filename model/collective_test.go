@@ -1,0 +1,59 @@
+package model
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestFusedArrivalExtra(t *testing.T) {
+	if got := FusedArrivalExtraNs(1, 8, 100); got != 0 {
+		t.Errorf("single thread pays %v, want 0", got)
+	}
+	// One level of fan-in 8 over 8 threads: 7 remote payload reads.
+	if got, want := FusedArrivalExtraNs(8, 8, 100), 7*100.0; got != want {
+		t.Errorf("P=8 f=8: %v, want %v", got, want)
+	}
+	// Levels grow logarithmically: 64 threads at fan-in 8 is 2 levels.
+	if got, want := FusedArrivalExtraNs(64, 8, 100), 2*7*100.0; got != want {
+		t.Errorf("P=64 f=8: %v, want %v", got, want)
+	}
+}
+
+func TestFusedPredictionsShape(t *testing.T) {
+	for _, m := range []*topology.Machine{topology.Kunpeng920(), topology.Phytium2000()} {
+		for _, p := range []int{2, 4, 16, 64, m.Cores} {
+			fused := PredictFusedNs(m, p)
+			bare := PredictBarrierNs(m, p)
+			if fused <= bare {
+				t.Errorf("%s P=%d: fused %v not above bare %v", m.Name, p, fused, bare)
+			}
+			ratio := FusedOverheadRatio(m, p)
+			if ratio < 1 || ratio > 2 {
+				t.Errorf("%s P=%d: overhead ratio %v outside (1, 2] — the payload extras must stay cheaper than a second episode", m.Name, p, ratio)
+			}
+			if sp := PredictFusedSpeedup(m, p); sp <= 1 {
+				t.Errorf("%s P=%d: predicted speedup %v, the fused episode must beat two episodes + serial combine", m.Name, p, sp)
+			}
+		}
+	}
+}
+
+func TestFusedSingleThreadDegenerate(t *testing.T) {
+	m := topology.Kunpeng920()
+	if PredictFusedNs(m, 1) != 0 {
+		t.Error("single-thread fused episode should cost 0")
+	}
+	if FusedOverheadRatio(m, 1) != 1 || PredictFusedSpeedup(m, 1) != 1 {
+		t.Error("single-thread ratios should be 1")
+	}
+}
+
+func TestFusedSpeedupGrowsWithThreads(t *testing.T) {
+	// The unfused pattern pays a serial (P-1)-read combine, so the
+	// predicted advantage must widen with the thread count.
+	m := topology.Kunpeng920()
+	if s16, s96 := PredictFusedSpeedup(m, 16), PredictFusedSpeedup(m, 96); s96 <= s16 {
+		t.Errorf("speedup should grow with P: P=16 %v, P=96 %v", s16, s96)
+	}
+}

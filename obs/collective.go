@@ -1,0 +1,100 @@
+package obs
+
+import "armbarrier/barrier"
+
+// Instrumentation for fused in-tree collectives (barrier.Collective):
+// fused episodes are counted per participant and feed the same
+// wait-latency and skew telemetry as plain Wait rounds, so a service
+// that replaced barrier+combine pairs with fused allreduce keeps its
+// dashboards.
+
+// Collective returns a view of in that also implements
+// barrier.Collective, or nil when the wrapped barrier has no fused
+// path. Fused episodes advance the same round counters, sampled
+// wait-latency histograms, and skew aggregates as Wait, and
+// additionally the per-participant fused-round counter exported as
+// armbarrier_fused_rounds_total. Like Instrument itself, Collective
+// must be called before any participant uses the barrier.
+//
+// Use the returned value wherever a barrier.Collective is needed —
+// e.g. as an omp team's barrier, so the team's fused reductions stay
+// instrumented:
+//
+//	ins := obs.Instrument(barrier.New(p), obs.Options{})
+//	team := omp.MustTeam(p, ins.Collective())
+func (in *Instrumented) Collective() barrier.Collective {
+	col, ok := in.inner.(barrier.Collective)
+	if !ok {
+		return nil
+	}
+	if in.fused == nil {
+		in.fused = make([]fusedShard, in.p)
+	}
+	return &InstrumentedCollective{Instrumented: in, col: col}
+}
+
+// InstrumentedCollective is an Instrumented barrier plus the fused
+// collective operations of the wrapped barrier. It implements
+// barrier.Collective; plain Wait calls remain instrumented through the
+// embedded Instrumented.
+type InstrumentedCollective struct {
+	*Instrumented
+	col barrier.Collective
+}
+
+// AllReduce implements barrier.Collective with the same sampled
+// telemetry as Wait plus the fused-round counter.
+func (ic *InstrumentedCollective) AllReduce(id int, v uint64, op barrier.CombineFunc) uint64 {
+	in := ic.Instrumented
+	in.fused[id].rounds.Add(1)
+	sh := &in.shards[id]
+	r := sh.rounds.Load()
+	if in.sample > 1 && r%in.sample != 0 {
+		out := ic.col.AllReduce(id, v, op)
+		sh.rounds.Store(r + 1)
+		return out
+	}
+	start := in.now()
+	sh.arrival[r&1].Store(start)
+	out := ic.col.AllReduce(id, v, op)
+	in.finishSampled(sh, id, r, start, in.now())
+	return out
+}
+
+// Reduce implements barrier.Collective.
+func (ic *InstrumentedCollective) Reduce(id, root int, v uint64, op barrier.CombineFunc) uint64 {
+	in := ic.Instrumented
+	in.fused[id].rounds.Add(1)
+	sh := &in.shards[id]
+	r := sh.rounds.Load()
+	if in.sample > 1 && r%in.sample != 0 {
+		out := ic.col.Reduce(id, root, v, op)
+		sh.rounds.Store(r + 1)
+		return out
+	}
+	start := in.now()
+	sh.arrival[r&1].Store(start)
+	out := ic.col.Reduce(id, root, v, op)
+	in.finishSampled(sh, id, r, start, in.now())
+	return out
+}
+
+// Broadcast implements barrier.Collective.
+func (ic *InstrumentedCollective) Broadcast(id, root int, v uint64) uint64 {
+	in := ic.Instrumented
+	in.fused[id].rounds.Add(1)
+	sh := &in.shards[id]
+	r := sh.rounds.Load()
+	if in.sample > 1 && r%in.sample != 0 {
+		out := ic.col.Broadcast(id, root, v)
+		sh.rounds.Store(r + 1)
+		return out
+	}
+	start := in.now()
+	sh.arrival[r&1].Store(start)
+	out := ic.col.Broadcast(id, root, v)
+	in.finishSampled(sh, id, r, start, in.now())
+	return out
+}
+
+var _ barrier.Collective = (*InstrumentedCollective)(nil)

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+func TestCollectiveNilForFlatBarrier(t *testing.T) {
+	in := Instrument(barrier.NewCentral(4), Options{})
+	if c := in.Collective(); c != nil {
+		t.Fatalf("Collective() = %v for a flat barrier, want nil", c)
+	}
+}
+
+func TestCollectiveCountsFusedRounds(t *testing.T) {
+	const p, rounds = 4, 10
+	in := Instrument(barrier.New(p), Options{Name: "opt", SampleEvery: 1})
+	c := in.Collective()
+	if c == nil {
+		t.Fatal("Collective() = nil for the optimized barrier")
+	}
+	barrier.Run(c, func(id int) {
+		for r := 0; r < rounds; r++ {
+			got := barrier.AllReduceInt64(c, id, int64(id), barrier.SumInt64)
+			if want := int64(p * (p - 1) / 2); got != want {
+				panic("wrong allreduce result through instrumentation")
+			}
+			c.Wait(id) // plain rounds must not count as fused
+			_ = c.Broadcast(id, 0, uint64(r))
+			_ = c.Reduce(id, 0, 1, func(a, b uint64) uint64 { return a + b })
+		}
+	})
+	s := in.Snapshot()
+	for _, ps := range s.PerParti {
+		if ps.FusedRounds != 3*rounds {
+			t.Errorf("participant %d: FusedRounds = %d, want %d", ps.ID, ps.FusedRounds, 3*rounds)
+		}
+		if ps.Rounds != 4*rounds {
+			t.Errorf("participant %d: Rounds = %d, want %d (fused rounds must advance the round counter)",
+				ps.ID, ps.Rounds, 4*rounds)
+		}
+	}
+}
+
+func TestCollectiveSampledStillCountsEveryFusedRound(t *testing.T) {
+	const p, rounds = 2, 40
+	in := Instrument(barrier.NewStaticFWay(p), Options{SampleEvery: 16})
+	c := in.Collective()
+	barrier.Run(c, func(id int) {
+		for r := 0; r < rounds; r++ {
+			_ = c.AllReduce(id, uint64(id), func(a, b uint64) uint64 { return a + b })
+		}
+	})
+	s := in.Snapshot()
+	for _, ps := range s.PerParti {
+		// The fused counter is exact even when latency sampling skips
+		// most rounds.
+		if ps.FusedRounds != rounds {
+			t.Errorf("participant %d: FusedRounds = %d, want %d", ps.ID, ps.FusedRounds, rounds)
+		}
+		if ps.Rounds != rounds {
+			t.Errorf("participant %d: Rounds = %d, want %d", ps.ID, ps.Rounds, rounds)
+		}
+	}
+}
+
+func TestCollectivePrometheusExport(t *testing.T) {
+	const p = 2
+	in := Instrument(barrier.New(p), Options{Name: "fused-test", SampleEvery: 1})
+	c := in.Collective()
+	barrier.Run(c, func(id int) {
+		_ = c.AllReduce(id, 1, func(a, b uint64) uint64 { return a + b })
+	})
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, in.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `armbarrier_fused_rounds_total{barrier="fused-test",participant="0"} 1`) {
+		t.Errorf("fused counter missing from exposition:\n%s", out)
+	}
+}
+
+func TestCollectiveMergeSumsFusedRounds(t *testing.T) {
+	mk := func() Snapshot {
+		in := Instrument(barrier.NewStaticFWay(2), Options{SampleEvery: 1})
+		c := in.Collective()
+		barrier.Run(c, func(id int) {
+			for r := 0; r < 5; r++ {
+				_ = c.AllReduce(id, 0, func(a, b uint64) uint64 { return a + b })
+			}
+		})
+		return in.Snapshot()
+	}
+	m := mk().Merge(mk())
+	for _, ps := range m.PerParti {
+		if ps.FusedRounds != 10 {
+			t.Errorf("participant %d: merged FusedRounds = %d, want 10", ps.ID, ps.FusedRounds)
+		}
+	}
+}

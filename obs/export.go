@@ -38,6 +38,7 @@ func escapeLabel(v string) string {
 //	armbarrier_spin_yields_total{participant}    counter
 //	armbarrier_parks_total{participant}          counter
 //	armbarrier_wakes_total{participant}          counter
+//	armbarrier_fused_rounds_total{participant}   counter
 //	armbarrier_wait_latency_ns{participant}      histogram (+_sum,_count)
 //	armbarrier_arrival_skew_last_ns{participant} gauge
 //	armbarrier_arrival_skew_mean_ns{participant} gauge
@@ -71,6 +72,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		func(p ParticipantSnapshot) uint64 { return p.Parks })
 	counter("armbarrier_wakes_total", "Wake tokens handed to this participant by barrier releasers.",
 		func(p ParticipantSnapshot) uint64 { return p.Wakes })
+	counter("armbarrier_fused_rounds_total", "Rounds that were fused collective episodes (allreduce/reduce/broadcast).",
+		func(p ParticipantSnapshot) uint64 { return p.FusedRounds })
 
 	fmt.Fprintf(&b, "# HELP armbarrier_wait_latency_ns Wait-call latency per participant, log2 buckets.\n")
 	fmt.Fprintf(&b, "# TYPE armbarrier_wait_latency_ns histogram\n")

@@ -139,6 +139,16 @@ type Instrumented struct {
 	skew   skewAgg
 	spins  barrier.SpinCounter // nil when unavailable or disabled
 	parks  barrier.ParkCounter // nil when the barrier cannot park
+	fused  []fusedShard        // allocated by Collective()
+}
+
+// fusedShard counts one participant's fused collective episodes
+// (allreduce / reduce / broadcast). Kept outside shard so plain
+// Instrument allocations are unchanged; padded like every other
+// per-participant counter block.
+type fusedShard struct {
+	rounds atomic.Uint64
+	_      [cacheLine - 8]byte
 }
 
 // Instrument wraps b. When b implements barrier.SpinCounter (all spin
@@ -221,6 +231,14 @@ func (in *Instrumented) wait(id int, tr *Tracer) {
 		reg.end()
 		tr.release(id, r/in.sample, end)
 	}
+	in.finishSampled(sh, id, r, start, end)
+}
+
+// finishSampled folds one sampled round's timing into the histograms
+// and skew aggregates and advances the round counter. Shared between
+// Wait and the fused collective episodes (InstrumentedCollective), so
+// both feed the same wait-latency and skew telemetry.
+func (in *Instrumented) finishSampled(sh *shard, id int, r uint64, start, end int64) {
 	d := end - start
 	sh.hist[bucketOf(d)].Add(1)
 	sh.waitSum.Add(d)
@@ -282,6 +300,10 @@ type ParticipantSnapshot struct {
 	// under non-parking wait policies).
 	Parks uint64 `json:"parks"`
 	Wakes uint64 `json:"wakes"`
+	// FusedRounds counts rounds that were fused collective episodes
+	// (allreduce / reduce / broadcast through the Collective view); a
+	// subset of Rounds. Always 0 unless Collective() is in use.
+	FusedRounds uint64 `json:"fused_rounds,omitempty"`
 	// WaitSamples is the number of rounds with full timing captured
 	// (Rounds/SampleEvery, rounded up); the wait aggregates below cover
 	// exactly these rounds. WaitHist holds log2 bucket counts (see
@@ -387,6 +409,9 @@ func (in *Instrumented) Snapshot() Snapshot {
 		if in.parks != nil {
 			ps.Parks, ps.Wakes = in.parks.ParkCounts(id)
 		}
+		if in.fused != nil {
+			ps.FusedRounds = in.fused[id].rounds.Load()
+		}
 		s.PerParti[id] = ps
 	}
 	return s
@@ -468,6 +493,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			Yields:      a.Yields + b.Yields,
 			Parks:       a.Parks + b.Parks,
 			Wakes:       a.Wakes + b.Wakes,
+			FusedRounds: a.FusedRounds + b.FusedRounds,
 			WaitSamples: a.WaitSamples + b.WaitSamples,
 			WaitSumNs:   a.WaitSumNs + b.WaitSumNs,
 			WaitMaxNs:   max(a.WaitMaxNs, b.WaitMaxNs),

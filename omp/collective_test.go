@@ -1,0 +1,92 @@
+package omp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+// TestReducePathsAgree runs the same reduction on a collective-capable
+// team (fused allreduce path) and on a flat-barrier team (fallback
+// path): int64 results must agree bit-identically, float64 within
+// reassociation rounding, for a spread of team and problem sizes.
+func TestReducePathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, p, 97, 1000} {
+			ints := make([]int64, n)
+			floats := make([]float64, n)
+			for i := range ints {
+				ints[i] = rng.Int63n(1<<40) - 1<<39
+				floats[i] = rng.Float64()*200 - 100
+			}
+
+			fusedTeam := MustTeam(p, barrier.New(p))
+			if fusedTeam.col == nil {
+				t.Fatalf("P=%d: optimized barrier lost its Collective", p)
+			}
+			flatTeam := MustTeam(p, barrier.NewCentral(p))
+			if flatTeam.col != nil {
+				t.Fatalf("P=%d: central barrier gained a Collective", p)
+			}
+
+			gotI := fusedTeam.ReduceInt64(n, 3, func(i int) int64 { return ints[i] })
+			wantI := flatTeam.ReduceInt64(n, 3, func(i int) int64 { return ints[i] })
+			if gotI != wantI {
+				t.Errorf("P=%d n=%d: fused ReduceInt64 = %d, fallback = %d", p, n, gotI, wantI)
+			}
+
+			gotF := fusedTeam.ReduceFloat64(n, 0.5, func(i int) float64 { return floats[i] })
+			wantF := flatTeam.ReduceFloat64(n, 0.5, func(i int) float64 { return floats[i] })
+			tol := 1e-9 * math.Max(1, math.Abs(wantF))
+			if math.Abs(gotF-wantF) > tol {
+				t.Errorf("P=%d n=%d: fused ReduceFloat64 = %g, fallback = %g (tol %g)", p, n, gotF, wantF, tol)
+			}
+
+			fusedTeam.Close()
+			flatTeam.Close()
+		}
+	}
+}
+
+// TestFusedReduceRepeats drives many back-to-back fused reductions on
+// one team, interleaved with plain regions, to exercise the fused-join
+// handoff (the collective at the end of the region body IS the join
+// barrier) across repeated fork/join cycles.
+func TestFusedReduceRepeats(t *testing.T) {
+	team := MustTeam(4, barrier.NewStaticFWay(4))
+	defer team.Close()
+	for r := 0; r < 50; r++ {
+		got := team.ReduceInt64(100, int64(r), func(i int) int64 { return int64(i) })
+		if want := int64(r) + 99*100/2; got != want {
+			t.Fatalf("round %d: ReduceInt64 = %d, want %d", r, got, want)
+		}
+		ran := make([]bool, 4)
+		team.Parallel(func(tid int) { ran[tid] = true })
+		for tid, ok := range ran {
+			if !ok {
+				t.Fatalf("round %d: plain region skipped worker %d after fused join", r, tid)
+			}
+		}
+	}
+}
+
+// TestFusedReduceOnCombiningTree covers the other Collective
+// implementation end to end through the omp layer.
+func TestFusedReduceOnCombiningTree(t *testing.T) {
+	team := MustTeam(6, barrier.NewCombining(6, 2))
+	defer team.Close()
+	if team.col == nil {
+		t.Fatal("combining tree lost its Collective")
+	}
+	got := team.ReduceInt64(1234, 0, func(i int) int64 { return int64(i % 7) })
+	var want int64
+	for i := 0; i < 1234; i++ {
+		want += int64(i % 7)
+	}
+	if got != want {
+		t.Fatalf("ReduceInt64 = %d, want %d", got, want)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"armbarrier/barrier"
 )
 
 // This file adds the remaining OpenMP worksharing constructs to Team:
@@ -43,7 +45,7 @@ func (t *Team) ForDynamic(n, chunk int, body func(i, tid int)) {
 
 type paddedCounter struct {
 	v atomic.Int64
-	_ [120]byte
+	_ [barrier.CacheLineSize - 8]byte
 }
 
 // Single runs body exactly once (on the master) while the rest of the

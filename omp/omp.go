@@ -26,11 +26,20 @@ import (
 // (participant 0); Team methods must be called from one goroutine at a
 // time (the master), as in OpenMP's fork/join model.
 type Team struct {
-	b       barrier.Barrier
-	p       int
-	work    func(tid int)
-	closed  bool
-	started sync.WaitGroup
+	b barrier.Barrier
+	// col is non-nil when b supports fused in-tree collectives
+	// (barrier.Collective); Reduce* then runs the fused single-episode
+	// path instead of the barrier-separated combine.
+	col barrier.Collective
+	p   int
+	// work and fusedJoin are published by the master before the fork
+	// barrier and captured by workers right after it. fusedJoin marks a
+	// region whose body itself ends with a team-wide collective episode;
+	// that episode then *is* the join, and workers skip the join Wait.
+	work      func(tid int)
+	fusedJoin bool
+	closed    bool
+	started   sync.WaitGroup
 }
 
 // NewTeam starts a team of p workers synchronized by b. The barrier
@@ -44,6 +53,7 @@ func NewTeam(p int, b barrier.Barrier) (*Team, error) {
 		return nil, fmt.Errorf("omp: barrier has %d participants, team needs %d", b.Participants(), p)
 	}
 	t := &Team{b: b, p: p}
+	t.col, _ = b.(barrier.Collective)
 	t.started.Add(p - 1)
 	for id := 1; id < p; id++ {
 		go t.worker(id)
@@ -64,6 +74,13 @@ func MustTeam(p int, b barrier.Barrier) *Team {
 // worker runs the fork/join loop: wait at the fork barrier for the
 // master to publish work, run it, then meet everyone at the join
 // barrier (the OpenMP implicit barrier).
+//
+// work and fusedJoin must be captured immediately after the fork: the
+// master's next write to them happens only after the current region's
+// join — for fused regions, after the master's own collective call
+// returns, which happens-after every worker's contribution and hence
+// after this capture — so the capture is race-free while a read placed
+// after work(id) would not be.
 func (t *Team) worker(id int) {
 	t.started.Done()
 	for {
@@ -71,8 +88,11 @@ func (t *Team) worker(id int) {
 		if t.closed {
 			return
 		}
-		t.work(id)
-		t.b.Wait(id) // join: implicit end-of-region barrier
+		work, fused := t.work, t.fusedJoin
+		work(id)
+		if !fused {
+			t.b.Wait(id) // join: implicit end-of-region barrier
+		}
 	}
 }
 
@@ -90,10 +110,23 @@ func (t *Team) Parallel(body func(tid int)) {
 	if t.closed {
 		panic("omp: Parallel on a closed team")
 	}
-	t.work = body
+	t.work, t.fusedJoin = body, false
 	t.b.Wait(0) // fork
 	body(0)
 	t.b.Wait(0) // join
+}
+
+// parallelFused runs body on every team member like Parallel, but the
+// body must end with a team-wide collective episode on t.col — that
+// episode doubles as the join barrier, saving one full episode per
+// region. Only callable when t.col is non-nil.
+func (t *Team) parallelFused(body func(tid int)) {
+	if t.closed {
+		panic("omp: parallel region on a closed team")
+	}
+	t.work, t.fusedJoin = body, true
+	t.b.Wait(0) // fork
+	body(0)     // ends with the collective == join
 }
 
 // For executes body(i, tid) for every i in [0, n) using a static
@@ -125,9 +158,29 @@ func blockRange(n, p, tid int) (lo, hi int) {
 }
 
 // ReduceFloat64 computes init + Σ f(i) for i in [0, n) with a static
-// schedule, per-worker partials padded against false sharing, and a
-// barrier-separated combine — `#pragma omp parallel for reduction(+:x)`.
+// schedule — `#pragma omp parallel for reduction(+:x)`. When the
+// team's barrier supports fused collectives (barrier.Collective), the
+// partials are combined inside a single fused allreduce episode that
+// doubles as the region's join barrier; otherwise it falls back to
+// per-worker padded partials with a barrier-separated serial combine.
+// The fused combine order is tree-shaped, so float64 results can
+// differ from the fallback by the usual reassociation rounding.
 func (t *Team) ReduceFloat64(n int, init float64, f func(i int) float64) float64 {
+	if t.col != nil {
+		var out float64
+		t.parallelFused(func(tid int) {
+			lo, hi := blockRange(n, t.p, tid)
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			r := barrier.AllReduceFloat64(t.col, tid, s, barrier.SumFloat64)
+			if tid == 0 {
+				out = init + r
+			}
+		})
+		return out
+	}
 	partial := make([]paddedFloat64, t.p)
 	t.For(n, func(i, tid int) {
 		partial[tid].v += f(i)
@@ -139,8 +192,25 @@ func (t *Team) ReduceFloat64(n int, init float64, f func(i int) float64) float64
 	return total
 }
 
-// ReduceInt64 is ReduceFloat64 for integers.
+// ReduceInt64 is ReduceFloat64 for integers. Integer addition is
+// associative and commutative, so the fused and fallback paths are
+// bit-identical.
 func (t *Team) ReduceInt64(n int, init int64, f func(i int) int64) int64 {
+	if t.col != nil {
+		var out int64
+		t.parallelFused(func(tid int) {
+			lo, hi := blockRange(n, t.p, tid)
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			r := barrier.AllReduceInt64(t.col, tid, s, barrier.SumInt64)
+			if tid == 0 {
+				out = init + r
+			}
+		})
+		return out
+	}
 	partial := make([]paddedInt64, t.p)
 	t.For(n, func(i, tid int) {
 		partial[tid].v += f(i)
@@ -154,12 +224,12 @@ func (t *Team) ReduceInt64(n int, init int64, f func(i int) int64) int64 {
 
 type paddedFloat64 struct {
 	v float64
-	_ [120]byte
+	_ [barrier.CacheLineSize - 8]byte
 }
 
 type paddedInt64 struct {
 	v int64
-	_ [120]byte
+	_ [barrier.CacheLineSize - 8]byte
 }
 
 // Close releases the worker goroutines. The team must not be used

@@ -1,0 +1,65 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestSearchCollective(t *testing.T) {
+	m := topology.Kunpeng920()
+	all, err := SearchCollective(m, 32, Options{Episodes: 5, FanIns: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Search(m, 32, Options{Episodes: 5, FanIns: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(bare) {
+		t.Fatalf("collective search has %d candidates, bare has %d", len(all), len(bare))
+	}
+	for i, c := range all {
+		if !c.Collective {
+			t.Errorf("candidate %d not marked Collective", i)
+		}
+		if !strings.HasSuffix(c.Name(), "-fused") {
+			t.Errorf("candidate %d name %q missing -fused", i, c.Name())
+		}
+		if i > 0 && all[i-1].CostNs > c.CostNs {
+			t.Errorf("candidates not sorted at %d: %v > %v", i, all[i-1].CostNs, c.CostNs)
+		}
+	}
+	// Every fused candidate must cost at least its bare counterpart:
+	// the payload extras are strictly additive.
+	bareCost := map[string]float64{}
+	for _, c := range bare {
+		bareCost[c.Name()] = c.CostNs
+	}
+	for _, c := range all {
+		base := strings.TrimSuffix(c.Name(), "-fused")
+		bc, ok := bareCost[base]
+		if !ok {
+			t.Errorf("no bare counterpart for %q", c.Name())
+			continue
+		}
+		if c.CostNs <= bc {
+			t.Errorf("%s: fused cost %v not above bare %v", c.Name(), c.CostNs, bc)
+		}
+	}
+}
+
+func TestBestCollective(t *testing.T) {
+	m := topology.Kunpeng920()
+	best, err := BestCollective(m, 64, Options{Episodes: 5, FanIns: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Collective || best.CostNs <= 0 {
+		t.Fatalf("BestCollective = %+v", best)
+	}
+	if _, err := BestCollective(m, 0, Options{}); err == nil {
+		t.Fatal("accepted 0 threads")
+	}
+}

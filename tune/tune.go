@@ -37,7 +37,12 @@ type Candidate struct {
 	// leaves it at the spin-yield default; fill it with ChooseWaitPolicy
 	// for the regime the barrier will actually run in.
 	Wait barrier.WaitPolicy
-	// CostNs is the simulated overhead per barrier.
+	// Collective marks a candidate priced for fused allreduce episodes
+	// (SearchCollective): CostNs then includes the model's payload
+	// piggyback terms on top of the simulated barrier cost.
+	Collective bool
+	// CostNs is the simulated overhead per barrier (plus the modelled
+	// payload extras when Collective is set).
 	CostNs float64
 }
 
@@ -58,6 +63,9 @@ func (c Candidate) Name() string {
 	}
 	if c.Wait != barrier.SpinYieldWait() {
 		n += "-" + c.Wait.String()
+	}
+	if c.Collective {
+		n += "-fused"
 	}
 	return n
 }
@@ -198,6 +206,64 @@ func Search(m *topology.Machine, threads int, opts Options) ([]Candidate, error)
 // Best returns the cheapest candidate.
 func Best(m *topology.Machine, threads int, opts Options) (Candidate, error) {
 	all, err := Search(m, threads, opts)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return all[0], nil
+}
+
+// fusedExtraNs prices the payload piggyback of a fused allreduce on
+// this candidate's tree, using the model's cost terms: one extra
+// remote payload read per child per arrival level on the way up, and
+// either a second globally-polled result line (global wake-up) or one
+// extra W_R per tree level on the way down. The simulator cannot
+// measure this (it replays barrier episodes, not payloads), so the
+// extras come from the closed-form model — the same hybrid the paper
+// uses when a term is analytically clean.
+func (c Candidate) fusedExtraNs(m *topology.Machine, threads int) float64 {
+	if threads <= 1 {
+		return 0
+	}
+	ly := topology.Layer(len(m.Latency) - 1)
+	L := m.LayerLatency(ly)
+	var sched []int
+	if c.FanIn {
+		sched = model.FixedFanInSchedule(threads, c.Fan)
+	} else {
+		sched = model.FanInSchedule(threads, 8)
+	}
+	var up float64
+	for _, f := range sched {
+		up += float64(f-1) * L
+	}
+	if c.Wakeup == algo.WakeGlobal {
+		return up + model.FusedGlobalWakeupExtraNs(threads, L, m.Alpha, m.ReadContention)
+	}
+	return up + model.FusedTreeWakeupExtraNs(threads, L, m.Alpha)
+}
+
+// SearchCollective searches the same design space as Search but prices
+// each candidate for fused allreduce episodes: simulated barrier cost
+// plus the modelled payload extras. The ranking can differ from the
+// bare-barrier ranking — the global wake-up pays a second hot line
+// that every thread refills, so tree wake-ups win collectives at
+// thread counts where the global wake-up still wins bare barriers.
+func SearchCollective(m *topology.Machine, threads int, opts Options) ([]Candidate, error) {
+	out, err := Search(m, threads, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Collective = true
+		out[i].CostNs += out[i].fusedExtraNs(m, threads)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].CostNs < out[j].CostNs })
+	return out, nil
+}
+
+// BestCollective returns the cheapest fused-collective candidate.
+func BestCollective(m *topology.Machine, threads int, opts Options) (Candidate, error) {
+	all, err := SearchCollective(m, threads, opts)
 	if err != nil {
 		return Candidate{}, err
 	}
