@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race check bench-smoke
+# Tight test timeouts: a reintroduced wedge (a Wait that never returns)
+# should fail the suite in minutes, not hang CI until the runner's
+# global kill. The robustness tests themselves complete in seconds.
+TEST_TIMEOUT ?= 180s
+RACE_TIMEOUT ?= 300s
+
+.PHONY: build vet fmt test race check bench-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -16,12 +22,17 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
+# The fault-injection matrix (every algorithm x wait policy with an
+# injected straggler) lives in ./internal/faultinject; race already
+# covers it via ./..., but run it by name so a path filter or build-tag
+# mistake that silently drops the package fails loudly.
 check: build vet fmt race
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 ./internal/faultinject/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -36,3 +47,11 @@ bench-smoke:
 	@echo "== collective allreduce =="
 	@$(GO) run ./cmd/barrierbench -collective allreduce -algos optimized \
 		-threads 4 -episodes 200 -repeats 2
+
+# End-to-end robustness smoke: inject a stall mid-run and check the
+# watchdog/timeout machinery reports it instead of hanging. Exercises
+# fault parsing, watchdog attribution, and bounded waits through the
+# CLI in one shot.
+fault-smoke:
+	$(GO) run ./cmd/barrierbench -fault '2@5:stall' -faultdeadline 50ms \
+		-algos central,optimized -threads 4 -episodes 20

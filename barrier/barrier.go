@@ -34,6 +34,7 @@ package barrier
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -186,18 +187,75 @@ func checkP(p int, name string) {
 	}
 }
 
+// PanicError is a panic (or runtime.Goexit) captured from a
+// participant goroutine, attributed to the participant that raised it.
+// barrier.Run and omp.Team re-raise the first one on the caller.
+type PanicError struct {
+	// ID is the participant whose body panicked or exited.
+	ID int
+	// Value is the original panic value; nil when the goroutine ran
+	// runtime.Goexit instead of panicking.
+	Value any
+	// Goexit is true when the body called runtime.Goexit (e.g. via
+	// testing's FailNow) rather than panicking.
+	Goexit bool
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	if e.Goexit {
+		return fmt.Sprintf("barrier: participant %d called runtime.Goexit", e.ID)
+	}
+	return fmt.Sprintf("barrier: participant %d panicked: %v", e.ID, e.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run starts P goroutines, one per participant of b, each executing
 // body(id), and returns when all complete. It is a convenience for
 // examples, tests and benchmarks.
+//
+// A panic in a body no longer crashes the process with an unattributed
+// trace: Run recovers it, waits for the remaining participants, and
+// re-raises the first captured panic on the caller as a *PanicError
+// naming the participant. Note that a panicking participant skips its
+// remaining barrier episodes, so peers still inside Wait may wedge —
+// bound those waits with WaitDeadline or watch them with a Watchdog if
+// the body can fail between barrier calls.
 func Run(b Barrier, body func(id int)) {
 	var wg sync.WaitGroup
+	var first atomic.Pointer[PanicError]
 	p := b.Participants()
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
-			defer wg.Done()
+			completed := false
+			defer func() {
+				r := recover()
+				if r != nil || !completed {
+					first.CompareAndSwap(nil, &PanicError{
+						ID:     id,
+						Value:  r,
+						Goexit: r == nil,
+						Stack:  debug.Stack(),
+					})
+				}
+				wg.Done()
+			}()
 			body(id)
+			completed = true
 		}(id)
 	}
 	wg.Wait()
+	if pe := first.Load(); pe != nil {
+		panic(pe)
+	}
 }

@@ -1,6 +1,9 @@
 package barrier
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Channel is a blocking (non-spinning) barrier built on sync.Cond: the
 // conventional Go approach. It parks waiters in the scheduler instead
@@ -53,6 +56,39 @@ func (c *Channel) Wait(id int) {
 		c.cond.Wait()
 	}
 	c.mu.Unlock()
+}
+
+// WaitDeadline implements DeadlineWaiter. sync.Cond has no timed wait,
+// so a timer goroutine broadcasts at the deadline and the loop
+// re-checks the clock on every wake; the extra broadcast only costs the
+// current waiters one spurious generation check.
+func (c *Channel) WaitDeadline(id int, timeout time.Duration) error {
+	checkID(id, c.p, "channel")
+	if c.p == 1 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	gen := c.generation
+	c.count++
+	if c.count == c.p {
+		c.count = 0
+		c.generation++
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return nil
+	}
+	wake := time.AfterFunc(timeout, c.cond.Broadcast)
+	defer wake.Stop()
+	for c.generation == gen {
+		if !time.Now().Before(deadline) {
+			c.mu.Unlock()
+			return &TimeoutError{Barrier: c.Name(), ID: id, Timeout: timeout}
+		}
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 var _ Barrier = (*Channel)(nil)

@@ -162,6 +162,10 @@ type waitState struct {
 	policy     WaitPolicy
 	parkSlots  []parkSlot  // non-nil iff the policy may park
 	adaptSlots []adaptSlot // non-nil iff the policy is adaptive
+	// deadlines[id].at is non-zero while participant id runs a bounded
+	// wait (see deadline.go). Owner-only plain field: the bare-Wait fast
+	// path pays one non-atomic load of an exclusively-owned cacheline.
+	deadlines []deadlineSlot
 }
 
 // initWait applies the constructor options and allocates whatever the
@@ -180,6 +184,7 @@ func (w *waitState) initWait(p int, opts []Option) {
 	if w.policy.kind == waitAdaptive {
 		w.adaptSlots = make([]adaptSlot, p)
 	}
+	w.deadlines = make([]deadlineSlot, p)
 }
 
 // WaitPolicy returns the policy the barrier was constructed with.
@@ -211,6 +216,10 @@ func (w *waitState) ParkCounts(id int) (parks, wakes uint64) {
 // wait blocks participant id until *f == want, using the configured
 // policy. It replaces direct spinUntilEq calls at every wait site.
 func (w *waitState) wait(id int, f *atomic.Uint32, want uint32) {
+	if w.deadlines[id].at != 0 {
+		w.waitBounded(id, f, want)
+		return
+	}
 	switch w.policy.kind {
 	case waitSpinYield:
 		spinUntilEq(f, want, w.slot(id))

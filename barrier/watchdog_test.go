@@ -1,0 +1,194 @@
+package barrier
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchdogCleanRoundsNoStall(t *testing.T) {
+	const p, rounds = 4, 200
+	var stalls atomic.Uint32
+	d := NewWatchdog(NewCentral(p), WatchdogConfig{
+		Deadline: 10 * time.Second,
+		OnStall:  func(Stall) { stalls.Add(1) },
+	})
+	d.Start()
+	defer d.Stop()
+	var wg sync.WaitGroup
+	for id := 0; id < p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				d.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if _, stalled := d.Check(); stalled {
+		t.Error("Check reported a stall on a healthy barrier")
+	}
+	if n := stalls.Load(); n != 0 {
+		t.Errorf("OnStall fired %d times on a healthy barrier", n)
+	}
+	s := d.Snapshot()
+	for id, r := range s.Rounds {
+		if r != rounds {
+			t.Errorf("participant %d rounds = %d, want %d", id, r, rounds)
+		}
+	}
+	if s.Stalled || s.Stalls != 0 || s.LastStall != nil {
+		t.Errorf("snapshot records a stall on a healthy barrier: %+v", s)
+	}
+}
+
+func TestWatchdogNamesMissingParticipant(t *testing.T) {
+	const p = 3
+	var onStall atomic.Uint32
+	d := NewWatchdog(NewCentral(p), WatchdogConfig{
+		Deadline: 20 * time.Millisecond,
+		OnStall:  func(Stall) { onStall.Add(1) },
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for _, id := range []int{0, 1} { // participant 2 never arrives
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = d.WaitDeadline(id, 5*time.Second)
+		}(id)
+	}
+
+	var st Stall
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var stalled bool
+		// The stall must eventually report exactly {0,1} waiting and {2}
+		// missing; early polls may catch 0 or 1 before they arrive.
+		if st, stalled = d.Check(); stalled && len(st.Waiting) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never reported the full stall; last: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(st.Missing) != 1 || st.Missing[0] != 2 {
+		t.Errorf("Missing = %v, want [2]", st.Missing)
+	}
+	if len(st.Waiting) != 2 || st.Waiting[0] != 0 || st.Waiting[1] != 1 {
+		t.Errorf("Waiting = %v, want [0 1]", st.Waiting)
+	}
+	if !strings.Contains(st.String(), "missing [2]") {
+		t.Errorf("Stall.String() = %q, want the missing id named", st)
+	}
+
+	// The same stall must not re-fire OnStall or re-count.
+	d.Check()
+	d.Check()
+	if n := onStall.Load(); n != 1 {
+		t.Errorf("OnStall fired %d times for one stall", n)
+	}
+	if s := d.Snapshot(); s.Stalls != 1 || !s.Stalled || s.LastStall == nil {
+		t.Errorf("snapshot = %+v, want one recorded stall", s)
+	}
+
+	// Late arrival completes the episode and clears the stall.
+	if err := d.WaitDeadline(2, 5*time.Second); err != nil {
+		t.Fatalf("late arrival: %v", err)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("participant %d: %v", id, err)
+		}
+	}
+	if _, stalled := d.Check(); stalled {
+		t.Error("stall persists after the episode completed")
+	}
+}
+
+func TestWatchdogBackgroundChecker(t *testing.T) {
+	stallCh := make(chan Stall, 1)
+	d := NewWatchdog(NewCentral(2), WatchdogConfig{
+		Deadline: 10 * time.Millisecond,
+		Poll:     2 * time.Millisecond,
+		OnStall: func(s Stall) {
+			select {
+			case stallCh <- s:
+			default:
+			}
+		},
+	})
+	d.Start()
+	defer d.Stop()
+	done := make(chan error, 1)
+	go func() { done <- d.WaitDeadline(0, 5*time.Second) }()
+
+	select {
+	case st := <-stallCh:
+		if len(st.Missing) != 1 || st.Missing[0] != 1 {
+			t.Errorf("Missing = %v, want [1]", st.Missing)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("background checker never reported the stall")
+	}
+	d.Wait(1)
+	if err := <-done; err != nil {
+		t.Errorf("episode after late arrival: %v", err)
+	}
+}
+
+func TestWatchdogSnapshotJSON(t *testing.T) {
+	d := NewWatchdog(NewCentral(2), WatchdogConfig{Deadline: time.Second})
+	out, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"barrier", "participants", "deadline_ns", "rounds", "waiting_ns"} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("snapshot JSON missing %q: %s", key, out)
+		}
+	}
+}
+
+// plainBarrier deliberately lacks WaitDeadline.
+type plainBarrier struct{ p int }
+
+func (b plainBarrier) Wait(int)          {}
+func (b plainBarrier) Participants() int { return b.p }
+func (b plainBarrier) Name() string      { return "plain" }
+
+func TestWatchdogConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero Deadline accepted")
+		}
+	}()
+	NewWatchdog(NewCentral(2), WatchdogConfig{})
+}
+
+func TestWatchdogWaitDeadlineNeedsDeadlineWaiter(t *testing.T) {
+	d := NewWatchdog(plainBarrier{p: 2}, WatchdogConfig{Deadline: time.Second})
+	if err := d.WaitDeadline(0, time.Second); err == nil {
+		t.Error("WaitDeadline on a non-DeadlineWaiter inner barrier returned nil")
+	}
+}
+
+func TestWatchdogDelegation(t *testing.T) {
+	d := NewWatchdog(NewCentral(2, WithWaitPolicy(SpinParkWait())), WatchdogConfig{Deadline: time.Second})
+	d.EnableSpinCounts()
+	if s, y := d.SpinCounts(0); s != 0 || y != 0 {
+		t.Errorf("fresh SpinCounts = %d, %d", s, y)
+	}
+	if pk, wk := d.ParkCounts(0); pk != 0 || wk != 0 {
+		t.Errorf("fresh ParkCounts = %d, %d", pk, wk)
+	}
+	if d.Name() != "central" || d.Participants() != 2 || d.Inner().Name() != "central" {
+		t.Error("delegation identity mismatch")
+	}
+}

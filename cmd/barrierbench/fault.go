@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"armbarrier/barrier"
+	"armbarrier/internal/faultinject"
+	"armbarrier/internal/table"
+)
+
+// runFault is the -fault mode: run each algorithm x thread-count with
+// the given faults injected, every wait bounded and a watchdog
+// supervising, and report what the robustness layer saw — stalls
+// detected, the straggler IDs attributed, timeouts and recovered
+// panics. It is a harness for watching the failure handling work, not
+// a benchmark: overheads are not measured.
+func runFault(out io.Writer, names []string, threads []int, wopts []barrier.Option,
+	wait string, episodes int, faults []faultinject.Fault, deadline time.Duration, csv bool) error {
+	// Bound every wait at a small multiple of the stall deadline: long
+	// enough for the watchdog to fire and be read first, short enough
+	// that a permanently missing participant turns into prompt timeouts.
+	budget := 4 * deadline
+	tb := table.New(
+		fmt.Sprintf("Fault injection (episodes=%d, stall deadline=%v, wait budget=%v, wait=%s)",
+			episodes, deadline, budget, wait),
+		"algorithm", "T", "done", "injected", "stalls", "missing", "timeouts", "panics")
+	for _, name := range names {
+		for _, p := range threads {
+			usable := make([]faultinject.Fault, 0, len(faults))
+			for _, f := range faults {
+				if f.ID < p {
+					usable = append(usable, f)
+				}
+			}
+			var mu sync.Mutex
+			var stalls []barrier.Stall
+			wd := barrier.NewWatchdog(algos[name](p, wopts...), barrier.WatchdogConfig{
+				Deadline: deadline,
+				OnStall: func(s barrier.Stall) {
+					mu.Lock()
+					stalls = append(stalls, s)
+					mu.Unlock()
+				},
+			})
+			wd.Start()
+			in := faultinject.Wrap(wd, usable...)
+
+			var (
+				wg       sync.WaitGroup
+				done     = make([]uint64, p)
+				timeouts = make([]int, p)
+				panics   = make([]int, p)
+			)
+			for id := 0; id < p; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for r := 0; r < episodes; r++ {
+						err, panicked := boundedEpisode(in, id, budget)
+						if panicked {
+							panics[id]++
+							return
+						}
+						if err != nil {
+							timeouts[id]++
+							return
+						}
+						done[id]++
+					}
+				}(id)
+			}
+			wg.Wait()
+			wd.Stop()
+
+			minDone := done[0]
+			var nTimeouts, nPanics int
+			for id := 0; id < p; id++ {
+				if done[id] < minDone {
+					minDone = done[id]
+				}
+				nTimeouts += timeouts[id]
+				nPanics += panics[id]
+			}
+			tb.AddRow(name, strconv.Itoa(p),
+				strconv.FormatUint(minDone, 10),
+				strconv.FormatUint(in.Injected(), 10),
+				strconv.Itoa(len(stalls)),
+				missingUnion(stalls),
+				strconv.Itoa(nTimeouts),
+				strconv.Itoa(nPanics))
+		}
+	}
+	tb.AddNote("done = episodes every participant completed; missing = straggler IDs the watchdog attributed")
+	tb.AddNote("a stall with no missing IDs means all participants were waiting (lost-wakeup signature)")
+	if csv {
+		fmt.Fprint(out, tb.CSV())
+	} else {
+		fmt.Fprint(out, tb.Render())
+	}
+	return nil
+}
+
+// boundedEpisode runs one bounded barrier episode, converting an
+// injected panic into a flag so the harness can keep accounting.
+func boundedEpisode(in *faultinject.Injector, id int, budget time.Duration) (err error, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return in.WaitDeadline(id, budget), false
+}
+
+// missingUnion renders the union of the stalls' missing-participant
+// sets, "-" when there were none.
+func missingUnion(stalls []barrier.Stall) string {
+	set := make(map[int]bool)
+	for _, s := range stalls {
+		for _, id := range s.Missing {
+			set[id] = true
+		}
+	}
+	if len(set) == 0 {
+		return "-"
+	}
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-fault", "1@3:stall", "-faultdeadline", "20ms",
+		"-threads", "3", "-algos", "central,optimized",
+		"-episodes", "10",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fault injection", "central", "optimized", "[1]", "stalls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultModePanicKind(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-fault", "0@2:panic", "-faultdeadline", "20ms",
+		"-threads", "2", "-algos", "central",
+		"-episodes", "8",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected panic is recovered and accounted, the peer times out.
+	if !strings.Contains(sb.String(), "panics") {
+		t.Errorf("output missing panics column:\n%s", sb.String())
+	}
+}
+
+func TestFaultModeCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-fault", "1@0:delay:5ms", "-threads", "2", "-algos", "mcs",
+		"-episodes", "5", "-csv",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "algorithm,T,done") {
+		t.Fatalf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestFaultModeBadSpec(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-fault", "nope"},
+		{"-fault", "1@0:stall", "-faultdeadline", "0s"},
+	} {
+		if err := run(append(bad, "-threads", "2", "-algos", "central"), &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}

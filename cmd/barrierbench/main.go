@@ -12,6 +12,9 @@
 //	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
 //	barrierbench -trace -tracetop 3     # flight recorder: worst episodes as Gantt
 //	barrierbench -traceout trace.json   # episodes as Chrome/Perfetto trace JSON
+//	barrierbench -fault 2@5:stall -episodes 20
+//	                                    # robustness harness: inject faults,
+//	                                    # watch the watchdog attribute them
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"armbarrier/barrier"
 	"armbarrier/epcc"
+	"armbarrier/internal/faultinject"
 	"armbarrier/internal/table"
 	"armbarrier/obs"
 )
@@ -89,6 +93,8 @@ func run(args []string, out io.Writer) error {
 		tracetop    = fs.Int("tracetop", 3, "worst episodes to print per measurement with -trace")
 		traceskew   = fs.Int64("traceskew", 0, "absolute arrival-skew capture threshold in ns (0 = trailing p90 quantile trigger)")
 		tracegroup  = fs.Int("tracegroup", 0, "participants per topology group in the straggler report (0 = ungrouped)")
+		faultFlag   = fs.String("fault", "", "fault-injection specs id@round:kind[:duration], comma-separated (kinds: delay, stall, drop, panic); runs the robustness harness instead of the benchmark")
+		faultDL     = fs.Duration("faultdeadline", 50*time.Millisecond, "watchdog stall deadline for -fault runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +136,17 @@ func run(args []string, out io.Writer) error {
 		return runCollective(out, names, threads, wopts, wait.String(), *episodes, *repeats, *csv, *jsonout)
 	default:
 		return fmt.Errorf("unknown -collective mode %q (have allreduce)", *collective)
+	}
+
+	if *faultFlag != "" {
+		faults, err := faultinject.ParseFaults(*faultFlag)
+		if err != nil {
+			return err
+		}
+		if *faultDL <= 0 {
+			return fmt.Errorf("-faultdeadline must be positive, got %v", *faultDL)
+		}
+		return runFault(out, names, threads, wopts, wait.String(), *episodes, faults, *faultDL, *csv)
 	}
 
 	cols := []string{"algorithm"}

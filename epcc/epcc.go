@@ -15,6 +15,7 @@ package epcc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"armbarrier/barrier"
@@ -105,6 +106,13 @@ type RealOptions struct {
 	// wrapper's cost is part of the reported overhead, so wrapped and
 	// bare results are directly comparable.
 	Wrap func(barrier.Barrier) barrier.Barrier
+	// WaitTimeout, when positive, bounds every measured Wait via
+	// barrier.WaitDeadline so a wedged barrier (a buggy wrapper, a
+	// fault-injected straggler) aborts the measurement with an error
+	// instead of hanging it. The post-Wrap barrier must implement
+	// barrier.DeadlineWaiter. The bounded wait's armed check adds a few
+	// nanoseconds per episode, so leave it zero for publication runs.
+	WaitTimeout time.Duration
 }
 
 // MeasureReal measures a real goroutine barrier's overhead: the
@@ -138,11 +146,22 @@ func MeasureReal(mk func(p int) barrier.Barrier, threads int, opts RealOptions) 
 		}
 	}
 
+	if opts.WaitTimeout > 0 {
+		if _, ok := b.(barrier.DeadlineWaiter); !ok {
+			return Result{}, fmt.Errorf("epcc: WaitTimeout needs a barrier.DeadlineWaiter, %s is not one", b.Name())
+		}
+	}
+
 	best := time.Duration(1<<62 - 1)
 	for r := 0; r < repeats; r++ {
 		// Warm up one episode set so lazily-allocated flags are paged in.
-		runEpisodes(b, episodes/10+1)
-		d := runEpisodes(b, episodes)
+		if _, err := runEpisodes(b, episodes/10+1, opts.WaitTimeout); err != nil {
+			return Result{}, err
+		}
+		d, err := runEpisodes(b, episodes, opts.WaitTimeout)
+		if err != nil {
+			return Result{}, err
+		}
 		if d < best {
 			best = d
 		}
@@ -161,15 +180,32 @@ func MeasureReal(mk func(p int) barrier.Barrier, threads int, opts RealOptions) 
 }
 
 // runEpisodes times `episodes` barrier episodes across the barrier's
-// participants.
-func runEpisodes(b barrier.Barrier, episodes int) time.Duration {
+// participants. A positive timeout bounds each Wait; the first expiry
+// aborts every participant's loop (their own bounded waits expire in
+// turn) and is returned.
+func runEpisodes(b barrier.Barrier, episodes int, timeout time.Duration) (time.Duration, error) {
+	if timeout <= 0 {
+		start := time.Now()
+		barrier.Run(b, func(id int) {
+			for e := 0; e < episodes; e++ {
+				b.Wait(id)
+			}
+		})
+		return time.Since(start), nil
+	}
+	dw := b.(barrier.DeadlineWaiter) // checked by MeasureReal
+	var firstErr error
+	var once sync.Once
 	start := time.Now()
 	barrier.Run(b, func(id int) {
 		for e := 0; e < episodes; e++ {
-			b.Wait(id)
+			if err := dw.WaitDeadline(id, timeout); err != nil {
+				once.Do(func() { firstErr = err })
+				return
+			}
 		}
 	})
-	return time.Since(start)
+	return time.Since(start), firstErr
 }
 
 // referenceLoop times the same fork/join and loop structure without

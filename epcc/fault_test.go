@@ -1,0 +1,57 @@
+package epcc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"armbarrier/barrier"
+	"armbarrier/internal/faultinject"
+)
+
+// TestMeasureRealWaitTimeout: bounded measurements behave identically
+// on a healthy barrier and abort with a timeout — instead of hanging
+// the benchmark forever — when a fault wedges it.
+func TestMeasureRealWaitTimeout(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	r, err := MeasureReal(mk, 4, RealOptions{
+		Episodes:    200,
+		Repeats:     1,
+		WaitTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("bounded measurement of a healthy barrier: %v", err)
+	}
+	if r.Threads != 4 || r.Episodes != 200 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestMeasureRealWaitTimeoutAbortsWedged(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return barrier.NewCentral(p) }
+	_, err := MeasureReal(mk, 2, RealOptions{
+		Episodes:    100,
+		Repeats:     1,
+		WaitTimeout: 50 * time.Millisecond,
+		Wrap: func(b barrier.Barrier) barrier.Barrier {
+			// Participant 1 stops arriving from its third episode on
+			// (the warmup set runs 100/10+1 = 11 episodes, so this wedges
+			// during warmup — the earliest measurable phase).
+			return faultinject.Wrap(b, faultinject.Fault{ID: 1, Round: 2, Kind: faultinject.Drop})
+		},
+	})
+	if err == nil {
+		t.Fatal("measurement of a wedged barrier returned nil")
+	}
+	if !errors.Is(err, barrier.ErrWaitTimeout) {
+		t.Errorf("error %v does not wrap barrier.ErrWaitTimeout", err)
+	}
+}
+
+func TestMeasureRealWaitTimeoutNeedsDeadlineWaiter(t *testing.T) {
+	mk := func(p int) barrier.Barrier { return noopBarrier{p: p} }
+	_, err := MeasureReal(mk, 2, RealOptions{Episodes: 10, Repeats: 1, WaitTimeout: time.Second})
+	if err == nil {
+		t.Error("WaitTimeout accepted a barrier without WaitDeadline")
+	}
+}

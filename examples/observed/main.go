@@ -9,6 +9,7 @@
 //	/debug/episodes              captured episodes as JSON (worst first)
 //	/debug/episodes?format=gantt text Gantt lanes + straggler attribution
 //	/debug/episodes?format=chrome Chrome trace JSON — load in Perfetto
+//	/debug/watchdog              stall detector state (armbarrier_watchdog_* families)
 //
 // Run and scrape:
 //
@@ -68,8 +69,17 @@ func main() {
 	})
 	defer tr.Close()
 
+	// The watchdog wraps the tracer, so a worker that stops arriving —
+	// a deadlock in phase work, a lost wakeup — is detected and named
+	// within a second instead of wedging the loop silently. One second
+	// dwarfs the microsecond phase work, so it cannot false-positive.
+	wd := barrier.NewWatchdog(tr, barrier.WatchdogConfig{
+		Deadline: time.Second,
+		OnStall:  func(s barrier.Stall) { log.Printf("watchdog: %s", s) },
+	})
+
 	if *once {
-		runBurst(tr, 200)
+		runBurst(tr, wd, 200)
 		if err := obs.WritePrometheus(os.Stdout, tr.Snapshot()); err != nil {
 			log.Fatal(err)
 		}
@@ -94,9 +104,10 @@ func main() {
 	exitRound.Store(-1)
 	var workersDone sync.WaitGroup
 	workersDone.Add(1)
+	wd.Start()
 	go func() {
 		defer workersDone.Done()
-		barrier.Run(tr, func(id int) {
+		barrier.Run(wd, func(id int) {
 			tr.Do(id, func() { // pprof label: participant=id
 				for r := int64(0); ; r++ {
 					// Unbalanced phases: worker id spins id extra
@@ -106,7 +117,7 @@ func main() {
 					if id == 0 && ctx.Err() != nil && exitRound.Load() < 0 {
 						exitRound.Store(r)
 					}
-					tr.Wait(id)
+					wd.Wait(id)
 					if er := exitRound.Load(); er >= 0 && r >= er {
 						return
 					}
@@ -121,6 +132,7 @@ func main() {
 	mux.Handle("/metrics", tr.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/episodes", tr.EpisodesHandler())
+	mux.Handle("/debug/watchdog", obs.WatchdogHandler(wd))
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	fmt.Printf("serving barrier telemetry on http://%s/metrics (episodes at /debug/episodes)\n", *addr)
 	go func() {
@@ -132,6 +144,7 @@ func main() {
 	<-ctx.Done()
 	fmt.Println("\nshutting down: draining workers through the barrier")
 	workersDone.Wait()
+	wd.Stop()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -142,13 +155,14 @@ func main() {
 }
 
 // runBurst drives a fixed number of rounds with the same unbalanced
-// phase shape the serving mode uses.
-func runBurst(tr *obs.Tracer, rounds int) {
-	barrier.Run(tr, func(id int) {
+// phase shape the serving mode uses, through the same watchdog-wrapped
+// barrier b.
+func runBurst(tr *obs.Tracer, b barrier.Barrier, rounds int) {
+	barrier.Run(b, func(id int) {
 		tr.Do(id, func() {
 			for r := 0; r < rounds; r++ {
 				busy(time.Duration(id) * time.Microsecond)
-				tr.Wait(id)
+				b.Wait(id)
 			}
 		})
 	})

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"armbarrier/barrier"
+)
+
+// Watchdog export: the stall-detection counters of barrier.Watchdog in
+// the same Prometheus families / JSON shapes as the rest of the obs
+// telemetry, so one scrape covers both performance and liveness.
+
+// WriteWatchdogPrometheus writes a watchdog snapshot in Prometheus text
+// exposition format. Metric families:
+//
+//	armbarrier_watchdog_deadline_ns              gauge
+//	armbarrier_watchdog_stalls_total             counter
+//	armbarrier_watchdog_stalled                  gauge (0/1)
+//	armbarrier_watchdog_rounds_total{participant} counter
+//	armbarrier_watchdog_wait_age_ns{participant} gauge (0 = not waiting)
+//	armbarrier_watchdog_missing{participant}     gauge (1 = absent from the stalled episode)
+//
+// Every series carries a barrier="<name>" label, matching
+// WritePrometheus.
+func WriteWatchdogPrometheus(w io.Writer, s barrier.WatchdogSnapshot) error {
+	bl := `barrier="` + escapeLabel(s.Barrier) + `"`
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HELP armbarrier_watchdog_deadline_ns Configured stall deadline.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_deadline_ns gauge\n")
+	fmt.Fprintf(&b, "armbarrier_watchdog_deadline_ns{%s} %d\n", bl, s.DeadlineNs)
+
+	fmt.Fprintf(&b, "# HELP armbarrier_watchdog_stalls_total Distinct stuck episodes detected.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_stalls_total counter\n")
+	fmt.Fprintf(&b, "armbarrier_watchdog_stalls_total{%s} %d\n", bl, s.Stalls)
+
+	stalled := 0
+	if s.Stalled {
+		stalled = 1
+	}
+	fmt.Fprintf(&b, "# HELP armbarrier_watchdog_stalled Whether the last check saw a stuck episode.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_stalled gauge\n")
+	fmt.Fprintf(&b, "armbarrier_watchdog_stalled{%s} %d\n", bl, stalled)
+
+	fmt.Fprintf(&b, "# HELP armbarrier_watchdog_rounds_total Episodes completed per participant, as counted by the watchdog.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_rounds_total counter\n")
+	for id, r := range s.Rounds {
+		fmt.Fprintf(&b, "armbarrier_watchdog_rounds_total{%s,participant=\"%d\"} %d\n", bl, id, r)
+	}
+
+	fmt.Fprintf(&b, "# HELP armbarrier_watchdog_wait_age_ns Age of the participant's in-progress wait, 0 when not waiting.\n")
+	fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_wait_age_ns gauge\n")
+	for id, ns := range s.WaitingNs {
+		fmt.Fprintf(&b, "armbarrier_watchdog_wait_age_ns{%s,participant=\"%d\"} %d\n", bl, id, ns)
+	}
+
+	if s.LastStall != nil {
+		missing := make(map[int]bool, len(s.LastStall.Missing))
+		for _, id := range s.LastStall.Missing {
+			missing[id] = true
+		}
+		fmt.Fprintf(&b, "# HELP armbarrier_watchdog_missing Participants absent from the most recent stuck episode.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_watchdog_missing gauge\n")
+		for id := 0; id < s.Participants; id++ {
+			v := 0
+			if missing[id] {
+				v = 1
+			}
+			fmt.Fprintf(&b, "armbarrier_watchdog_missing{%s,participant=\"%d\"} %d\n", bl, id, v)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WatchdogHandler returns an http.Handler serving a live watchdog
+// snapshot: Prometheus text exposition by default, JSON with
+// ?format=json — the same contract as Instrumented.MetricsHandler.
+func WatchdogHandler(d *barrier.Watchdog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := d.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		_ = WriteWatchdogPrometheus(w, snap)
+	})
+}

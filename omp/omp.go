@@ -15,7 +15,11 @@ package omp
 
 import (
 	"fmt"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"armbarrier/barrier"
 )
@@ -40,6 +44,54 @@ type Team struct {
 	fusedJoin bool
 	closed    bool
 	started   sync.WaitGroup
+	// regions counts forked regions (master-only); progress[tid] counts
+	// regions participant tid has fully joined. A worker whose progress
+	// lags regions after a Close deadline expires is stuck.
+	regions  uint64
+	progress []paddedProgress
+	// fusedDone[tid] marks that tid's fused-region body reached its
+	// collective (the region's join). Owner-only: set by the collective
+	// wrapper, consumed by runBody's defer to decide whether a stand-in
+	// join arrival is still owed.
+	fusedDone []fusedFlag
+	// pan holds the first panic (or Goexit) any participant's body
+	// raised in the current region; the master re-raises it after the
+	// join.
+	pan panicBox
+}
+
+type paddedProgress struct {
+	v atomic.Uint64
+	_ [barrier.CacheLineSize - 8]byte
+}
+
+type fusedFlag struct {
+	v bool
+	_ [barrier.CacheLineSize - 1]byte
+}
+
+// panicBox keeps the first captured body panic of a region. A mutex —
+// not an atomic — because capture is already a cold path and the
+// master's take must see the value a worker recorded before its join.
+type panicBox struct {
+	mu    sync.Mutex
+	first *barrier.PanicError
+}
+
+func (p *panicBox) record(pe *barrier.PanicError) {
+	p.mu.Lock()
+	if p.first == nil {
+		p.first = pe
+	}
+	p.mu.Unlock()
+}
+
+func (p *panicBox) take() *barrier.PanicError {
+	p.mu.Lock()
+	pe := p.first
+	p.first = nil
+	p.mu.Unlock()
+	return pe
 }
 
 // NewTeam starts a team of p workers synchronized by b. The barrier
@@ -54,6 +106,8 @@ func NewTeam(p int, b barrier.Barrier) (*Team, error) {
 	}
 	t := &Team{b: b, p: p}
 	t.col, _ = b.(barrier.Collective)
+	t.progress = make([]paddedProgress, p)
+	t.fusedDone = make([]fusedFlag, p)
 	t.started.Add(p - 1)
 	for id := 1; id < p; id++ {
 		go t.worker(id)
@@ -83,17 +137,69 @@ func MustTeam(p int, b barrier.Barrier) *Team {
 // after work(id) would not be.
 func (t *Team) worker(id int) {
 	t.started.Done()
+	t.workerLoop(id)
+}
+
+func (t *Team) workerLoop(id int) {
 	for {
 		t.b.Wait(id) // fork: master has published t.work / t.closed
 		if t.closed {
 			return
 		}
 		work, fused := t.work, t.fusedJoin
-		work(id)
-		if !fused {
+		t.runBody(id, work, fused)
+	}
+}
+
+// runBody executes one region's body for participant id with the
+// panic-safety this package guarantees: a panic — or a runtime.Goexit,
+// e.g. a test helper's FailNow — in the body is captured, the region's
+// join barrier is still completed so no other participant wedges, and
+// the master re-raises the first captured panic after the join. A
+// worker that Goexits cannot be kept (Goexit is uncancelable), so its
+// defer spawns a replacement goroutine to keep the team staffed.
+func (t *Team) runBody(id int, work func(tid int), fused bool) {
+	completed := false
+	defer func() {
+		r := recover()
+		goexit := r == nil && !completed
+		// A master Goexit is not recorded: the master is the goroutine
+		// the report would go to, it is already unwinding, and a stale
+		// record would misfire on the next region's take.
+		if r != nil || (goexit && id != 0) {
+			t.pan.record(&barrier.PanicError{
+				ID:     id,
+				Value:  r,
+				Goexit: goexit,
+				Stack:  debug.Stack(),
+			})
+		}
+		// A fused body's collective IS the join; if the body died before
+		// reaching it, a plain Wait stands in — arrival-compatible with
+		// the peers' collective calls (their payload result is garbage,
+		// but the master discards it and re-raises the panic instead).
+		if !fused || !t.takeFusedDone(id) {
 			t.b.Wait(id) // join: implicit end-of-region barrier
 		}
-	}
+		t.progress[id].v.Add(1)
+		if goexit && id != 0 {
+			go t.workerLoop(id)
+		}
+	}()
+	work(id)
+	completed = true
+}
+
+// markFused records that participant tid's fused body reached its
+// collective. The fused closures call it immediately after the
+// collective returns.
+func (t *Team) markFused(tid int) { t.fusedDone[tid].v = true }
+
+// takeFusedDone consumes the mark, reporting whether the collective ran.
+func (t *Team) takeFusedDone(tid int) bool {
+	done := t.fusedDone[tid].v
+	t.fusedDone[tid].v = false
+	return done
 }
 
 // Size returns the number of workers (including the master).
@@ -106,14 +212,14 @@ func (t *Team) Barrier() barrier.Barrier { return t.b }
 // Parallel runs body(tid) on every team member concurrently and
 // returns after the implicit join barrier. It corresponds to
 // `#pragma omp parallel`.
+//
+// A panic (or runtime.Goexit) in the body — on any participant — no
+// longer wedges the team: every participant still completes the join,
+// workers survive, and the first captured panic is re-raised here as a
+// *barrier.PanicError naming the participant. The team stays usable
+// afterwards, and Close still returns.
 func (t *Team) Parallel(body func(tid int)) {
-	if t.closed {
-		panic("omp: Parallel on a closed team")
-	}
-	t.work, t.fusedJoin = body, false
-	t.b.Wait(0) // fork
-	body(0)
-	t.b.Wait(0) // join
+	t.region(body, false)
 }
 
 // parallelFused runs body on every team member like Parallel, but the
@@ -121,12 +227,23 @@ func (t *Team) Parallel(body func(tid int)) {
 // episode doubles as the join barrier, saving one full episode per
 // region. Only callable when t.col is non-nil.
 func (t *Team) parallelFused(body func(tid int)) {
+	t.region(body, true)
+}
+
+// region is the master's half of one fork/join episode.
+func (t *Team) region(body func(tid int), fused bool) {
 	if t.closed {
 		panic("omp: parallel region on a closed team")
 	}
-	t.work, t.fusedJoin = body, true
+	t.work, t.fusedJoin = body, fused
+	t.regions++
 	t.b.Wait(0) // fork
-	body(0)     // ends with the collective == join
+	t.runBody(0, body, fused)
+	// The join in runBody happens-after every worker's panic record, so
+	// a non-nil take here is exactly "some body failed this region".
+	if pe := t.pan.take(); pe != nil {
+		panic(pe)
+	}
 }
 
 // For executes body(i, tid) for every i in [0, n) using a static
@@ -175,6 +292,7 @@ func (t *Team) ReduceFloat64(n int, init float64, f func(i int) float64) float64
 				s += f(i)
 			}
 			r := barrier.AllReduceFloat64(t.col, tid, s, barrier.SumFloat64)
+			t.markFused(tid)
 			if tid == 0 {
 				out = init + r
 			}
@@ -205,6 +323,7 @@ func (t *Team) ReduceInt64(n int, init int64, f func(i int) int64) int64 {
 				s += f(i)
 			}
 			r := barrier.AllReduceInt64(t.col, tid, s, barrier.SumInt64)
+			t.markFused(tid)
 			if tid == 0 {
 				out = init + r
 			}
@@ -234,12 +353,67 @@ type paddedInt64 struct {
 
 // Close releases the worker goroutines. The team must not be used
 // afterwards. Close is idempotent.
+//
+// Close blocks until every worker reaches the fork barrier; on a team
+// whose workers are wedged (e.g. stuck in external code) it blocks
+// forever. Use CloseWithin to bound that wait.
 func (t *Team) Close() {
 	if t.closed {
 		return
 	}
 	t.closed = true
 	t.b.Wait(0) // fork with closed=true: workers exit
+}
+
+// CloseWithin is Close with a time budget: if the workers do not reach
+// the closing fork barrier within d, it returns an error naming the
+// stuck participants instead of deadlocking. It requires the team's
+// barrier to implement barrier.DeadlineWaiter (all barriers in package
+// barrier do). After a timeout the barrier is poisoned and the stuck
+// workers are abandoned; the team must not be used either way.
+func (t *Team) CloseWithin(d time.Duration) error {
+	if t.closed {
+		return nil
+	}
+	dw, ok := t.b.(barrier.DeadlineWaiter)
+	if !ok {
+		return fmt.Errorf("omp: CloseWithin needs a barrier.DeadlineWaiter, %s is not one", t.b.Name())
+	}
+	t.closed = true
+	if err := dw.WaitDeadline(0, d); err != nil {
+		return fmt.Errorf("omp: close timed out; stuck participants %v: %w", t.stuckWorkers(), err)
+	}
+	return nil
+}
+
+// stuckWorkers names the workers that plausibly wedged a closing team:
+// those whose join progress lags the forked-region count, plus — when
+// the team's barrier tracks arrivals (barrier.Watchdog) — those not
+// currently waiting inside the barrier.
+func (t *Team) stuckWorkers() []int {
+	stuck := make(map[int]bool)
+	for id := 1; id < t.p; id++ {
+		if t.progress[id].v.Load() < t.regions {
+			stuck[id] = true
+		}
+	}
+	if at, ok := t.b.(interface{ Waiting() []int }); ok {
+		waiting := make(map[int]bool)
+		for _, id := range at.Waiting() {
+			waiting[id] = true
+		}
+		for id := 1; id < t.p; id++ {
+			if !waiting[id] {
+				stuck[id] = true
+			}
+		}
+	}
+	ids := make([]int, 0, len(stuck))
+	for id := range stuck {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // Parallel is a one-shot convenience: spawn p goroutines, run body on
