@@ -9,7 +9,7 @@ GO ?= go
 TEST_TIMEOUT ?= 180s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: build vet fmt test race check bench-smoke fault-smoke
+.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,13 @@ race:
 # The fault-injection matrix (every algorithm x wait policy with an
 # injected straggler) lives in ./internal/faultinject; race already
 # covers it via ./..., but run it by name so a path filter or build-tag
-# mistake that silently drops the package fails loudly.
+# mistake that silently drops the package fails loudly. The streaming
+# telemetry detectors (regime shift, change point, straggler
+# persistence) run by name for the same reason.
 check: build vet fmt race
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 ./internal/faultinject/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestStream|TestTimeline|TestRenderTimeline' ./obs/ ./cmd/barrierbench/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -55,3 +59,12 @@ bench-smoke:
 fault-smoke:
 	$(GO) run ./cmd/barrierbench -fault '2@5:stall' -faultdeadline 50ms \
 		-algos central,optimized -threads 4 -episodes 20
+
+# Streaming telemetry smoke: one barrierbench run with the windowed
+# stream attached (sparkline timeline on stdout) and one -once pass of
+# the observed example, which flushes a window and renders the same
+# timeline the /debug/timeline endpoint serves.
+timeline-smoke:
+	$(GO) run ./cmd/barrierbench -stream -streamwindow 20ms \
+		-algos optimized -threads 4 -episodes 2000 -repeats 1
+	$(GO) run ./examples/observed -once | tail -n 12

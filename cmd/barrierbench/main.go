@@ -8,6 +8,7 @@
 //	barrierbench -threads 2,4,8         # custom sweep
 //	barrierbench -algos central,optimized -episodes 5000
 //	barrierbench -metrics               # live telemetry table per algo x P
+//	barrierbench -stream                # windowed telemetry timeline per measurement
 //	barrierbench -collective allreduce  # fused allreduce vs two-episode reduction
 //	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
 //	barrierbench -trace -tracetop 3     # flight recorder: worst episodes as Gantt
@@ -87,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		csv         = fs.Bool("csv", false, "emit CSV")
 		regions     = fs.Bool("regions", false, "measure omp parallel-region overhead instead of bare barriers")
 		metrics     = fs.Bool("metrics", false, "instrument the measured barriers and print a telemetry table")
+		streamFlag  = fs.Bool("stream", false, "attach the windowed telemetry stream and print each measurement's timeline (sparklines, regime, alerts)")
+		streamWin   = fs.Duration("streamwindow", 100*time.Millisecond, "stream rotation window for -stream")
 		jsonout     = fs.String("jsonout", "", "write results as JSON to this file (or BENCH_<timestamp>.json inside this directory)")
 		traceFlag   = fs.Bool("trace", false, "attach a flight recorder and print the worst captured episodes per measurement")
 		traceout    = fs.String("traceout", "", "write captured episodes as Chrome trace-event JSON to this file (implies -trace)")
@@ -100,6 +103,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	tracing := *traceFlag || *traceout != ""
+	if *streamFlag && *streamWin <= 0 {
+		return fmt.Errorf("-streamwindow must be positive, got %v", *streamWin)
+	}
 
 	wait, err := barrier.ParseWaitPolicy(*waitFlag)
 	if err != nil {
@@ -162,9 +168,10 @@ func run(args []string, out io.Writer) error {
 	}
 	tb := table.New(title, cols...)
 	var (
-		results []epcc.Result
-		snaps   []obs.Snapshot
-		traced  []tracedMeasurement
+		results  []epcc.Result
+		snaps    []obs.Snapshot
+		traced   []tracedMeasurement
+		streamed []streamedMeasurement
 	)
 	for _, name := range names {
 		cells := []string{name}
@@ -172,6 +179,16 @@ func run(args []string, out io.Writer) error {
 			ropts := epcc.RealOptions{Episodes: *episodes, Repeats: *repeats}
 			var in *obs.Instrumented
 			var tr *obs.Tracer
+			var st *obs.Stream
+			// attachStream rides whatever Instrumented the active mode
+			// built, so -stream composes with -trace and -metrics.
+			attachStream := func(i *obs.Instrumented) {
+				if !*streamFlag {
+					return
+				}
+				st = obs.NewStream(i, obs.StreamOptions{Window: *streamWin})
+				st.Start()
+			}
 			switch {
 			case tracing:
 				// The tracer rides the instrumentation's sampled clock
@@ -186,13 +203,15 @@ func run(args []string, out io.Writer) error {
 					}
 					tr = obs.Trace(b, topts)
 					in = tr.Instrumented
+					attachStream(in)
 					return tr
 				}
-			case *metrics:
+			case *metrics || *streamFlag:
 				// SampleEvery 1: the sweep is short, so exact per-round
 				// capture beats the default sampling here.
 				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
 					in = obs.Instrument(b, obs.Options{Name: name, SampleEvery: 1})
+					attachStream(in)
 					return in
 				}
 			}
@@ -211,6 +230,13 @@ func run(args []string, out io.Writer) error {
 					label:     fmt.Sprintf("%s/%dT", name, p),
 					episodes:  tr.Episodes(),
 					triggered: tr.Triggered(),
+				})
+			}
+			if st != nil {
+				st.Stop() // flushes the partial window
+				streamed = append(streamed, streamedMeasurement{
+					label:    fmt.Sprintf("%s/%dT", name, p),
+					timeline: st.Timeline(),
 				})
 			}
 			cells = append(cells, table.Cell(r.OverheadNs))
@@ -232,6 +258,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 			fmt.Fprint(out, mt.Render())
 		}
+	}
+	if *streamFlag {
+		printTimelines(out, streamed)
 	}
 	if *traceFlag {
 		printEpisodes(out, traced, *tracetop, *tracegroup)

@@ -22,6 +22,7 @@ import (
 	"armbarrier/sim"
 	"armbarrier/sim/algo"
 	"armbarrier/topology"
+	"armbarrier/tune"
 )
 
 // Result is one overhead measurement.
@@ -44,12 +45,10 @@ func (r Result) String() string {
 // core, "oversubscribed" once participants outnumber them. The two
 // regimes are different experiments — spinning policies that win
 // dedicated collapse oversubscribed — so results should never be
-// compared across the boundary.
+// compared across the boundary. The label is tune.Regime vocabulary
+// (tune.ClassifyStatic), shared with the obs/stream online detector.
 func Regime(threads, gomaxprocs int) string {
-	if threads > gomaxprocs {
-		return "oversubscribed"
-	}
-	return "dedicated"
+	return tune.ClassifyStatic(threads, gomaxprocs).String()
 }
 
 // SimOptions configures MeasureSim.

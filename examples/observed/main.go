@@ -10,6 +10,9 @@
 //	/debug/episodes?format=gantt text Gantt lanes + straggler attribution
 //	/debug/episodes?format=chrome Chrome trace JSON — load in Perfetto
 //	/debug/watchdog              stall detector state (armbarrier_watchdog_* families)
+//	/debug/timeline              windowed time-series rollups as JSON (regime, alerts)
+//	/debug/timeline?format=text  the same series as ASCII sparklines
+//	/debug/timeline?format=prom  current-window gauges with a regime label
 //
 // Run and scrape:
 //
@@ -78,11 +81,22 @@ func main() {
 		OnStall:  func(s barrier.Stall) { log.Printf("watchdog: %s", s) },
 	})
 
+	// The stream turns the live counters into a windowed time-series:
+	// per-second rollups, regime classification, change-point and
+	// straggler alerts. Alerts go to the log the same way stalls do.
+	st := obs.NewStream(tr.Instrumented, obs.StreamOptions{
+		Window:   time.Second,
+		Watchdog: wd,
+		OnAlert:  func(a obs.Alert) { log.Printf("%s", a) },
+	})
+
 	if *once {
 		runBurst(tr, wd, 200)
+		st.Stop() // flush the burst into a window
 		if err := obs.WritePrometheus(os.Stdout, tr.Snapshot()); err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("\n%s", obs.RenderTimeline(st.Timeline(), 72))
 		if eps := tr.Episodes(); len(eps) > 0 {
 			fmt.Printf("\ncaptured %d episode(s), worst:\n%s", len(eps), eps[0].Gantt(72))
 		}
@@ -105,6 +119,7 @@ func main() {
 	var workersDone sync.WaitGroup
 	workersDone.Add(1)
 	wd.Start()
+	st.Start()
 	go func() {
 		defer workersDone.Done()
 		barrier.Run(wd, func(id int) {
@@ -133,8 +148,9 @@ func main() {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/episodes", tr.EpisodesHandler())
 	mux.Handle("/debug/watchdog", obs.WatchdogHandler(wd))
+	mux.Handle("/debug/timeline", st.TimelineHandler())
 	srv := &http.Server{Addr: *addr, Handler: mux}
-	fmt.Printf("serving barrier telemetry on http://%s/metrics (episodes at /debug/episodes)\n", *addr)
+	fmt.Printf("serving barrier telemetry on http://%s/metrics (episodes at /debug/episodes, timeline at /debug/timeline)\n", *addr)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
@@ -144,6 +160,7 @@ func main() {
 	<-ctx.Done()
 	fmt.Println("\nshutting down: draining workers through the barrier")
 	workersDone.Wait()
+	st.Stop()
 	wd.Stop()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -202,3 +202,38 @@ func SweepChart(tb *table.Table, logY bool) (string, error) {
 func SortSeriesByName(series []Series) {
 	sort.Slice(series, func(a, b int) bool { return series[a].Name < series[b].Name })
 }
+
+// sparkRamp maps a normalized value to a glyph, lowest to highest.
+// ASCII only, so the timeline endpoint renders in any terminal or
+// curl | less without locale surprises.
+const sparkRamp = " .:-=+*#%@"
+
+// Sparkline renders xs as one line of density glyphs, min-max
+// normalized: the smallest value maps to the first ramp glyph, the
+// largest to the last. A constant series renders as mid-ramp glyphs,
+// an empty one as "". NaN values render as '?'.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	out := make([]byte, len(xs))
+	for i, x := range xs {
+		switch {
+		case math.IsNaN(x):
+			out[i] = '?'
+		case hi == lo || math.IsInf(lo, 1):
+			out[i] = sparkRamp[len(sparkRamp)/2]
+		default:
+			idx := int(math.Round((x - lo) / (hi - lo) * float64(len(sparkRamp)-1)))
+			out[i] = sparkRamp[idx]
+		}
+	}
+	return string(out)
+}

@@ -1,6 +1,7 @@
 package plot
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -140,5 +141,32 @@ func TestCollisionMarker(t *testing.T) {
 	}
 	if !strings.Contains(out, "?") {
 		t.Fatalf("collision not marked:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty input = %q", got)
+	}
+	got := Sparkline([]float64{0, 9})
+	if got != " @" {
+		t.Errorf("min/max = %q, want \" @\"", got)
+	}
+	// A constant series renders mid-ramp, not a div-by-zero artifact.
+	if got := Sparkline([]float64{5, 5, 5}); got != "+++" {
+		t.Errorf("constant = %q, want \"+++\"", got)
+	}
+	// Monotone ramp renders monotone glyphs.
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if ramp != sparkRamp {
+		t.Errorf("ramp = %q, want %q", ramp, sparkRamp)
+	}
+	// NaN holes render as '?' without disturbing the scale.
+	nan := math.NaN()
+	if got := Sparkline([]float64{0, nan, 9}); got != " ?@" {
+		t.Errorf("with NaN = %q, want \" ?@\"", got)
+	}
+	if got := Sparkline([]float64{nan, nan}); got != "??" {
+		t.Errorf("all NaN = %q, want \"??\"", got)
 	}
 }

@@ -1,0 +1,133 @@
+package stats
+
+import "math"
+
+// Online (streaming) statistics: the windowed telemetry layer
+// (obs/stream) folds one value per rotation into these detectors, so
+// every Update must be O(1) with no allocation — the detectors run
+// inside the rotation path of an always-on production observer.
+
+// EWMA is an exponentially weighted moving average: each Update blends
+// the new observation into the running value with weight Alpha. The
+// zero value is usable after SetAlpha; NewEWMA is the usual way in.
+type EWMA struct {
+	alpha float64
+	value float64
+	n     uint64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1]:
+// higher alpha tracks faster, lower alpha smooths harder. It panics on
+// an alpha outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	e := &EWMA{}
+	e.SetAlpha(alpha)
+	return e
+}
+
+// SetAlpha sets the smoothing factor, keeping the current value. It
+// panics on an alpha outside (0, 1].
+func (e *EWMA) SetAlpha(alpha float64) {
+	if !(alpha > 0 && alpha <= 1) {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	e.alpha = alpha
+}
+
+// Update folds x into the average and returns the new value. The first
+// observation seeds the average directly (no bias toward zero).
+func (e *EWMA) Update(x float64) float64 {
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value += e.alpha * (x - e.value)
+	}
+	e.n++
+	return e.value
+}
+
+// Value returns the current average (0 before any Update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns how many observations have been folded in.
+func (e *EWMA) Count() uint64 { return e.n }
+
+// Reset forgets all observations, keeping alpha.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.n = 0
+}
+
+// PageHinkley is a two-sided Page-Hinkley change-point detector: it
+// accumulates deviations of each observation from the running mean and
+// alarms when the accumulated drift since its best point exceeds
+// Lambda. Deviations smaller than Delta are tolerated (they decay the
+// accumulator instead of growing it), so stationary noise does not
+// alarm while a sustained level shift does — the classic sequential
+// test for "the distribution feeding me changed", which is exactly the
+// regime-change question the windowed telemetry asks of p99 wait and
+// arrival skew.
+//
+// The detector is cheap (a handful of float ops per Update) and
+// scale-sensitive: Delta and Lambda are in the units of the input, so
+// callers watching quantities that span decades should feed a
+// normalized value (obs/stream feeds log10 of nanoseconds).
+type PageHinkley struct {
+	// Delta is the per-observation deviation tolerance: drifts smaller
+	// than this never accumulate.
+	Delta float64
+	// Lambda is the alarm threshold on the accumulated drift.
+	Lambda float64
+	// MinSamples observations must arrive before the detector may alarm
+	// (the running mean needs a baseline). Zero means 2.
+	MinSamples int
+
+	n      int
+	mean   float64
+	incSum float64 // accumulated positive drift (upward changes)
+	incMin float64
+	decSum float64 // accumulated negative drift (downward changes)
+	decMax float64
+}
+
+// Update folds x in and reports whether a change-point alarm fired on
+// this observation. After an alarm the caller decides whether to Reset
+// (re-baseline on the new level) or keep accumulating.
+func (ph *PageHinkley) Update(x float64) bool {
+	ph.n++
+	// Running mean over everything since the last Reset.
+	ph.mean += (x - ph.mean) / float64(ph.n)
+	ph.incSum += x - ph.mean - ph.Delta
+	if ph.incSum < ph.incMin {
+		ph.incMin = ph.incSum
+	}
+	ph.decSum += x - ph.mean + ph.Delta
+	if ph.decSum > ph.decMax {
+		ph.decMax = ph.decSum
+	}
+	min := ph.MinSamples
+	if min <= 0 {
+		min = 2
+	}
+	if ph.n < min {
+		return false
+	}
+	return ph.incSum-ph.incMin > ph.Lambda || ph.decMax-ph.decSum > ph.Lambda
+}
+
+// Drift returns the larger of the upward and downward accumulated
+// drifts — how close the detector is to alarming, in Lambda units once
+// divided by Lambda.
+func (ph *PageHinkley) Drift() float64 {
+	return math.Max(ph.incSum-ph.incMin, ph.decMax-ph.decSum)
+}
+
+// Reset re-baselines the detector, keeping its tuning parameters. Call
+// it after handling an alarm so the new level becomes the null
+// hypothesis instead of re-alarming forever.
+func (ph *PageHinkley) Reset() {
+	ph.n = 0
+	ph.mean = 0
+	ph.incSum, ph.incMin = 0, 0
+	ph.decSum, ph.decMax = 0, 0
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMASeedsOnFirstUpdate(t *testing.T) {
+	e := NewEWMA(0.1)
+	if got := e.Update(100); got != 100 {
+		t.Fatalf("first update = %g, want 100 (no zero bias)", got)
+	}
+	if e.Count() != 1 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestEWMATracksLevelShift(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 20; i++ {
+		e.Update(10)
+	}
+	if v := e.Value(); v != 10 {
+		t.Fatalf("stationary value = %g", v)
+	}
+	for i := 0; i < 20; i++ {
+		e.Update(50)
+	}
+	if v := e.Value(); math.Abs(v-50) > 1e-3 {
+		t.Errorf("post-shift value = %g, want ~50", v)
+	}
+	e.Reset()
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %g did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// stationary noise around a level must not alarm; a sustained level
+// shift must alarm exactly while it is fresh.
+func TestPageHinkleyDetectsUpwardShift(t *testing.T) {
+	ph := PageHinkley{Delta: 0.05, Lambda: 0.6, MinSamples: 3}
+	// Deterministic "noise": small alternating wiggle around 1.0.
+	for i := 0; i < 50; i++ {
+		x := 1.0
+		if i%2 == 0 {
+			x = 1.04
+		}
+		if ph.Update(x) {
+			t.Fatalf("false alarm on stationary input at %d", i)
+		}
+	}
+	// Sustained shift to 2.0 (e.g. log10 of a 10x p99 regression).
+	fired := -1
+	for i := 0; i < 10; i++ {
+		if ph.Update(2.0) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("no alarm on a sustained 1.0 -> 2.0 shift")
+	}
+	if fired > 4 {
+		t.Errorf("alarm took %d post-shift samples, want <= 4", fired+1)
+	}
+	// Reset re-baselines: the new level alone must not re-alarm.
+	ph.Reset()
+	for i := 0; i < 50; i++ {
+		if ph.Update(2.0) {
+			t.Fatalf("re-alarm on the new stationary level at %d", i)
+		}
+	}
+}
+
+func TestPageHinkleyDetectsDownwardShift(t *testing.T) {
+	ph := PageHinkley{Delta: 0.05, Lambda: 0.6, MinSamples: 3}
+	for i := 0; i < 30; i++ {
+		if ph.Update(3.0) {
+			t.Fatalf("false alarm at %d", i)
+		}
+	}
+	fired := false
+	for i := 0; i < 10; i++ {
+		if ph.Update(1.0) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("no alarm on a sustained downward shift")
+	}
+}
+
+func TestPageHinkleyMinSamples(t *testing.T) {
+	ph := PageHinkley{Delta: 0, Lambda: 0.1, MinSamples: 5}
+	// Wild early values may not alarm before MinSamples observations.
+	for i, x := range []float64{0, 100, 0, 100} {
+		if ph.Update(x) {
+			t.Fatalf("alarm at sample %d, before MinSamples", i+1)
+		}
+	}
+	if !ph.Update(100) {
+		t.Error("no alarm once MinSamples reached on a drifting input")
+	}
+	if ph.Drift() <= 0.1 {
+		t.Errorf("Drift() = %g, want > Lambda after alarm", ph.Drift())
+	}
+}

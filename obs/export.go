@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -123,7 +124,20 @@ func writePromHist(b *strings.Builder, name, labels string, hist []uint64, sumNs
 	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, cum)
 }
 
+// formatFloat renders a sample value for the text exposition. The
+// format admits non-real values only with the exact spellings "NaN",
+// "+Inf" and "-Inf"; the streaming layer exports NaN on purpose for
+// sampleless windows, so the special cases are handled explicitly
+// rather than trusting a formatting verb to spell them right.
 func formatFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 

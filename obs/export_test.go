@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -96,5 +97,27 @@ func TestSnapshotJSONRoundTripMerged(t *testing.T) {
 	}
 	if back.TotalRounds() != merged.TotalRounds() {
 		t.Errorf("TotalRounds %d != %d after round-trip", back.TotalRounds(), merged.TotalRounds())
+	}
+}
+
+// TestFormatFloatSpecials pins the exposition spellings of the
+// non-real sample values: the format admits exactly "NaN", "+Inf" and
+// "-Inf", and Go's %g would render Inf without the mandatory sign.
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0, "0"},
+		{1.5, "1.5"},
+		{-2.25e6, "-2.25e+06"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }

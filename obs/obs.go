@@ -313,9 +313,11 @@ type ParticipantSnapshot struct {
 	WaitMaxNs   int64    `json:"wait_max_ns"`
 	WaitHist    []uint64 `json:"wait_hist"`
 	// LastSkewNs is this participant's arrival offset from the round's
-	// first arriver in the last completed round; MeanSkewNs averages the
-	// offset over all rounds.
+	// first arriver in the last completed round; SkewSumNs sums the
+	// offset over all skew-sampled rounds (so two snapshots can be
+	// diffed into a per-window mean) and MeanSkewNs averages it.
 	LastSkewNs int64   `json:"last_skew_ns"`
+	SkewSumNs  int64   `json:"skew_sum_ns"`
 	MeanSkewNs float64 `json:"mean_skew_ns"`
 }
 
@@ -395,13 +397,14 @@ func (in *Instrumented) Snapshot() Snapshot {
 			WaitMaxNs:  sh.waitMax.Load(),
 			WaitHist:   make([]uint64, NumBuckets),
 			LastSkewNs: sh.lastSkew.Load(),
+			SkewSumNs:  sh.skewSum.Load(),
 		}
 		for b := range sh.hist {
 			ps.WaitHist[b] = sh.hist[b].Load()
 			ps.WaitSamples += ps.WaitHist[b]
 		}
 		if skewRounds := s.Skew.Rounds; skewRounds > 0 {
-			ps.MeanSkewNs = float64(sh.skewSum.Load()) / float64(skewRounds)
+			ps.MeanSkewNs = float64(ps.SkewSumNs) / float64(skewRounds)
 		}
 		if in.spins != nil {
 			ps.Spins, ps.Yields = in.spins.SpinCounts(id)
@@ -499,6 +502,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			WaitMaxNs:   max(a.WaitMaxNs, b.WaitMaxNs),
 			WaitHist:    mergeHist(a.WaitHist, b.WaitHist),
 			LastSkewNs:  b.LastSkewNs,
+			SkewSumNs:   a.SkewSumNs + b.SkewSumNs,
 		}
 		if sr := s.Skew.Rounds + o.Skew.Rounds; sr > 0 {
 			ps.MeanSkewNs = (a.MeanSkewNs*float64(s.Skew.Rounds) + b.MeanSkewNs*float64(o.Skew.Rounds)) / float64(sr)

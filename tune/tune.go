@@ -86,13 +86,10 @@ func (c Candidate) RealOptions() []barrier.Option {
 // participants on gomaxprocs schedulable cores: spin-yield while every
 // participant can own a core, spin-then-park as soon as participants
 // outnumber cores (a spinning waiter would burn the quantum of the very
-// goroutine it waits for). This is the decision rule the README
-// documents — choose the wait policy before tuning the tree.
+// goroutine it waits for). Shorthand for
+// ClassifyStatic(threads, gomaxprocs).WaitPolicy().
 func ChooseWaitPolicy(threads, gomaxprocs int) barrier.WaitPolicy {
-	if threads > gomaxprocs {
-		return barrier.SpinParkWait()
-	}
-	return barrier.SpinYieldWait()
+	return ClassifyStatic(threads, gomaxprocs).WaitPolicy()
 }
 
 // simConfig builds the simulator-side configuration.
