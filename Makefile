@@ -9,7 +9,7 @@ GO ?= go
 TEST_TIMEOUT ?= 180s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke
+.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,8 @@ check: build vet fmt race
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 ./internal/faultinject/
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
 		-run 'TestStream|TestTimeline|TestRenderTimeline' ./obs/ ./cmd/barrierbench/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestPhase|TestDrift|TestBucketOf|TestInstrumentPhases' ./barrier/ ./obs/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -68,3 +70,12 @@ timeline-smoke:
 	$(GO) run ./cmd/barrierbench -stream -streamwindow 20ms \
 		-algos optimized -threads 4 -episodes 2000 -repeats 1
 	$(GO) run ./examples/observed -once | tail -n 12
+
+# Phase-resolved telemetry smoke: one barrierbench run with the phase
+# probes armed (per-level tables plus the model-drift scoreboard on
+# stdout) and one -once pass of the observed example, whose tail
+# includes the drift scoreboard the /debug/phases endpoint serves.
+phases-smoke:
+	$(GO) run ./cmd/barrierbench -phases \
+		-algos optimized -threads 4 -episodes 2000 -repeats 1
+	$(GO) run ./examples/observed -once | tail -n 20

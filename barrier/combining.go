@@ -78,13 +78,23 @@ func (c *Combining) Wait(id int) {
 	for l := range c.levels {
 		node := &c.levels[l][idx/c.fanIn]
 		if int(node.counter.v.Add(1)) != node.size {
+			c.phasePoint(id, PhaseArrival, l)
 			c.wait(id, &c.gsense.v, mySense)
+			c.phasePoint(id, PhaseWakeup, 0)
 			return
 		}
 		node.counter.v.Store(0) // reset for the next round
+		c.phasePoint(id, PhaseArrival, l)
 		idx /= c.fanIn
 	}
 	c.signalAll(&c.gsense.v, mySense, id)
+	c.phasePoint(id, PhaseWakeup, 0)
+}
+
+// PhaseShape implements PhaseProber: one arrival level per tree level,
+// one wake-up level (the global sense release).
+func (c *Combining) PhaseShape() (arrival, wakeup int) {
+	return len(c.levels), 1
 }
 
 // AllReduce implements Collective: every group member publishes its
@@ -158,4 +168,5 @@ var (
 	_ Barrier     = (*Combining)(nil)
 	_ SpinCounter = (*Combining)(nil)
 	_ Collective  = (*Combining)(nil)
+	_ PhaseProber = (*Combining)(nil)
 )

@@ -60,6 +60,7 @@ func (d *Dissemination) Wait(id int) {
 		partner := (id + stride) % d.p
 		d.signal(&d.flags[par][r][partner].v, sense, partner)
 		d.wait(id, &d.flags[par][r][id].v, sense)
+		d.phasePoint(id, PhaseArrival, r)
 		stride *= 2
 	}
 	if par == 1 {
@@ -68,7 +69,15 @@ func (d *Dissemination) Wait(id int) {
 	l.parity = 1 - par
 }
 
+// PhaseShape implements PhaseProber: every round is symmetric pairwise
+// signalling, so all levels are arrival levels and there is no
+// Notification-Phase.
+func (d *Dissemination) PhaseShape() (arrival, wakeup int) {
+	return d.rounds, 0
+}
+
 var (
 	_ Barrier     = (*Dissemination)(nil)
 	_ SpinCounter = (*Dissemination)(nil)
+	_ PhaseProber = (*Dissemination)(nil)
 )

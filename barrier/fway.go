@@ -83,7 +83,12 @@ type FWay struct {
 	// children[rank] holds the wake-up tree children, precomputed so
 	// Wait performs no allocations.
 	children [][]int
-	ranks    []int
+	// wakeDepth[rank] is the rank's depth in the wake-up tree (champion
+	// 0); nil under the global wake-up. wakeLevels is the number of
+	// distinct wake-up levels PhasePoint can report.
+	wakeDepth  []int
+	wakeLevels int
+	ranks      []int
 	// idOfRank inverts ranks: idOfRank[ranks[id]] == id. Wait sites run
 	// in rank space but park slots are participant-indexed, so signals
 	// map back through it.
@@ -198,8 +203,42 @@ func NewFWay(p int, cfg FWayConfig, opts ...Option) *FWay {
 	default:
 		panic(fmt.Sprintf("barrier: unknown wakeup kind %d", cfg.Wakeup))
 	}
+	f.wakeLevels = 1
+	if f.children != nil {
+		// Depths in the wake-up tree, precomputed so PhasePoint levels
+		// cost an indexed load. BFS from the champion (rank 0).
+		f.wakeDepth = make([]int, p)
+		queue := []int{0}
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, c := range f.children[r] {
+				f.wakeDepth[c] = f.wakeDepth[r] + 1
+				if f.wakeDepth[c] >= f.wakeLevels {
+					f.wakeLevels = f.wakeDepth[c] + 1
+				}
+				queue = append(queue, c)
+			}
+		}
+	}
 	f.initWait(p, opts)
 	return f
+}
+
+// PhaseShape implements PhaseProber: one arrival level per scheduled
+// round; one wake-up level globally, or the tree depth under a tree
+// wake-up.
+func (f *FWay) PhaseShape() (arrival, wakeup int) {
+	return len(f.sched), f.wakeLevels
+}
+
+// Schedule returns a copy of the per-level fan-in schedule, f_r for
+// arrival level r — the model inputs a drift scoreboard needs to price
+// each level (Eq. 1 terms).
+func (f *FWay) Schedule() []int {
+	out := make([]int, len(f.sched))
+	copy(out, f.sched)
+	return out
 }
 
 func fwayName(cfg FWayConfig) string {
@@ -300,6 +339,7 @@ func (f *FWay) waitStatic(id, rank int, sense uint32) {
 			// Statically-determined loser: the group winner holds rank
 			// group*fr*stride and polls my flag.
 			f.signal(f.flag(r, group*(fr-1)+(j-1)), sense, f.idOfRank[group*fr*stride])
+			f.phasePoint(id, PhaseArrival, r)
 			f.wakeWait(id, rank, sense)
 			return
 		}
@@ -308,6 +348,7 @@ func (f *FWay) waitStatic(id, rank int, sense uint32) {
 				f.wait(id, f.flag(r, group*(fr-1)+(cj-1)), sense)
 			}
 		}
+		f.phasePoint(id, PhaseArrival, r)
 		stride *= fr
 	}
 	f.wakeSignal(id, sense)
@@ -321,11 +362,13 @@ func (f *FWay) waitDynamic(id, rank int, sense uint32) {
 		cnt := &f.counters[r][group]
 		if cnt.size > 1 {
 			if cnt.v.Add(1) != cnt.size {
+				f.phasePoint(id, PhaseArrival, r)
 				f.wakeWait(id, rank, sense)
 				return
 			}
 			cnt.v.Store(0)
 		}
+		f.phasePoint(id, PhaseArrival, r)
 		idx = group
 	}
 	f.wakeSignal(id, sense)
@@ -335,21 +378,27 @@ func (f *FWay) waitDynamic(id, rank int, sense uint32) {
 func (f *FWay) wakeSignal(id int, sense uint32) {
 	if f.wakeKind == WakeGlobal {
 		f.signalAll(&f.gsense.v, sense, id)
+		f.phasePoint(id, PhaseWakeup, 0)
 		return
 	}
 	for _, c := range f.children[0] {
 		f.signal(&f.wakeFlag[c].v, sense, f.idOfRank[c])
 	}
+	f.phasePoint(id, PhaseWakeup, 0)
 }
 
 // wakeWait blocks a non-champion until released, forwarding tree
-// releases to its own subtree.
+// releases to its own subtree. The wake-up probe point stamps receipt
+// — before the forwarding stores, so the forwarding cost lands in the
+// children's marks, not the parent's.
 func (f *FWay) wakeWait(id, rank int, sense uint32) {
 	if f.wakeKind == WakeGlobal {
 		f.wait(id, &f.gsense.v, sense)
+		f.phasePoint(id, PhaseWakeup, 0)
 		return
 	}
 	f.wait(id, &f.wakeFlag[rank].v, sense)
+	f.phasePoint(id, PhaseWakeup, f.wakeDepth[rank])
 	for _, kid := range f.children[rank] {
 		f.signal(&f.wakeFlag[kid].v, sense, f.idOfRank[kid])
 	}
@@ -509,6 +558,7 @@ var (
 	_ Barrier     = (*FWay)(nil)
 	_ SpinCounter = (*FWay)(nil)
 	_ Collective  = (*FWay)(nil)
+	_ PhaseProber = (*FWay)(nil)
 )
 
 // NewStaticFWay builds the original static f-way tournament (STOUR):

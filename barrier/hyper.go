@@ -12,6 +12,11 @@ type Hyper struct {
 	arrive  []paddedUint32
 	release []paddedUint32
 	local   []paddedUint32 // per-participant sense
+	// wakeDepth[i] is i's depth in the release tree (root 0);
+	// arrLevels/wakeLevels bound the PhasePoint level indices.
+	wakeDepth  []int
+	arrLevels  int
+	wakeLevels int
 	waitState
 }
 
@@ -33,8 +38,38 @@ func NewHyperBranch(p, branch int, opts ...Option) *Hyper {
 		release: make([]paddedUint32, p),
 		local:   make([]paddedUint32, p),
 	}
+	for s := 1; s < p; s *= branch {
+		h.arrLevels++
+	}
+	// Release-tree depths, walking the same top-down stride loop Wait's
+	// release phase runs: a child first signalled at stride s sits one
+	// edge below its signaller.
+	h.wakeDepth = make([]int, p)
+	h.wakeLevels = 1
+	top := 1
+	for top*branch < p {
+		top *= branch
+	}
+	for s := top; s >= 1; s /= branch {
+		for id := 0; id < p; id += branch * s {
+			for j := 1; j < branch; j++ {
+				if child := id + j*s; child < p {
+					h.wakeDepth[child] = h.wakeDepth[id] + 1
+					if h.wakeDepth[child] >= h.wakeLevels {
+						h.wakeLevels = h.wakeDepth[child] + 1
+					}
+				}
+			}
+		}
+	}
 	h.initWait(p, opts)
 	return h
+}
+
+// PhaseShape implements PhaseProber: one arrival level per gather
+// stride, wake-up levels to the depth of the release tree.
+func (h *Hyper) PhaseShape() (arrival, wakeup int) {
+	return h.arrLevels, h.wakeLevels
 }
 
 // Name implements Barrier.
@@ -53,10 +88,12 @@ func (h *Hyper) Wait(id int) {
 	}
 	b := h.branch
 	// Gather.
+	lvl := 0
 	for s := 1; s < h.p; s *= b {
 		if id%(b*s) != 0 {
 			// My own arrival flag is polled by my gather parent.
 			h.signal(&h.arrive[id].v, sense, id-id%(b*s))
+			h.phasePoint(id, PhaseArrival, lvl)
 			break
 		}
 		for j := 1; j < b; j++ {
@@ -64,10 +101,13 @@ func (h *Hyper) Wait(id int) {
 				h.wait(id, &h.arrive[child].v, sense)
 			}
 		}
+		h.phasePoint(id, PhaseArrival, lvl)
+		lvl++
 	}
 	// Release.
 	if id != 0 {
 		h.wait(id, &h.release[id].v, sense)
+		h.phasePoint(id, PhaseWakeup, h.wakeDepth[id])
 	}
 	top := 1
 	for top*b < h.p {
@@ -82,9 +122,13 @@ func (h *Hyper) Wait(id int) {
 			}
 		}
 	}
+	if id == 0 {
+		h.phasePoint(id, PhaseWakeup, 0)
+	}
 }
 
 var (
 	_ Barrier     = (*Hyper)(nil)
 	_ SpinCounter = (*Hyper)(nil)
+	_ PhaseProber = (*Hyper)(nil)
 )

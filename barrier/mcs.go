@@ -21,6 +21,13 @@ type MCS struct {
 	// wakeKids[i] holds i's binary-tree children, precomputed so Wait
 	// performs no allocations.
 	wakeKids [][]int
+	// gatherLevel[i] is node i's height in the 4-ary arrival tree
+	// (leaves 0), wakeDepth[i] its depth in the binary wake-up tree
+	// (root 0): the PhasePoint levels, precomputed.
+	gatherLevel []int
+	wakeDepth   []int
+	arrLevels   int
+	wakeLevels  int
 	waitState
 }
 
@@ -41,11 +48,42 @@ func NewMCS(p int, opts ...Option) *MCS {
 		local:    make([]paddedUint32, p),
 		wakeKids: make([][]int, p),
 	}
+	m.gatherLevel = make([]int, p)
+	m.wakeDepth = make([]int, p)
 	for i := 0; i < p; i++ {
 		m.wakeKids[i] = model.BinaryTreeChildren(i, p)
 	}
+	// Heights bottom-up: children of i (4i+1..4i+4) have larger
+	// indices, so a reverse sweep sees every child before its parent.
+	for i := p - 1; i >= 0; i-- {
+		for j := 0; j < 4; j++ {
+			if child := 4*i + j + 1; child < p {
+				if h := m.gatherLevel[child] + 1; h > m.gatherLevel[i] {
+					m.gatherLevel[i] = h
+				}
+			}
+		}
+		if m.gatherLevel[i] >= m.arrLevels {
+			m.arrLevels = m.gatherLevel[i] + 1
+		}
+	}
+	// Binary-tree depths top-down: the parent of i is (i-1)/2.
+	m.wakeLevels = 1
+	for i := 1; i < p; i++ {
+		m.wakeDepth[i] = m.wakeDepth[(i-1)/2] + 1
+		if m.wakeDepth[i] >= m.wakeLevels {
+			m.wakeLevels = m.wakeDepth[i] + 1
+		}
+	}
 	m.initWait(p, opts)
 	return m
+}
+
+// PhaseShape implements PhaseProber: a participant's arrival level is
+// its height in the 4-ary gather tree, its wake-up level its depth in
+// the binary release tree.
+func (m *MCS) PhaseShape() (arrival, wakeup int) {
+	return m.arrLevels, m.wakeLevels
 }
 
 // Name implements Barrier.
@@ -68,19 +106,25 @@ func (m *MCS) Wait(id int) {
 			m.wait(id, &m.arrive[id].child[j], sense)
 		}
 	}
+	m.phasePoint(id, PhaseArrival, m.gatherLevel[id])
 	if id != 0 {
 		parent := (id - 1) / 4
 		m.signal(&m.arrive[parent].child[(id-1)%4], sense, parent)
 		// Wake-up: wait on my own padded flag.
 		m.wait(id, &m.wake[id].v, sense)
+		m.phasePoint(id, PhaseWakeup, m.wakeDepth[id])
 	}
 	// Release my binary-tree children.
 	for _, c := range m.wakeKids[id] {
 		m.signal(&m.wake[c].v, sense, c)
+	}
+	if id == 0 {
+		m.phasePoint(id, PhaseWakeup, 0)
 	}
 }
 
 var (
 	_ Barrier     = (*MCS)(nil)
 	_ SpinCounter = (*MCS)(nil)
+	_ PhaseProber = (*MCS)(nil)
 )

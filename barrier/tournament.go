@@ -47,19 +47,30 @@ func (t *Tournament) Wait(id int) {
 		if id%(2*stride) != 0 {
 			// Loser: signal my winner, then wait for the release.
 			t.signal(&t.flags[r][id-stride].v, sense, id-stride)
+			t.phasePoint(id, PhaseArrival, r)
 			t.wait(id, &t.gsense.v, sense)
+			t.phasePoint(id, PhaseWakeup, 0)
 			return
 		}
 		if loser := id + stride; loser < t.p {
 			t.wait(id, &t.flags[r][id].v, sense)
 		}
+		t.phasePoint(id, PhaseArrival, r)
 		stride *= 2
 	}
 	// Champion.
 	t.signalAll(&t.gsense.v, sense, id)
+	t.phasePoint(id, PhaseWakeup, 0)
+}
+
+// PhaseShape implements PhaseProber: one arrival level per pairwise
+// round, one wake-up level (the global sense release).
+func (t *Tournament) PhaseShape() (arrival, wakeup int) {
+	return t.rounds, 1
 }
 
 var (
 	_ Barrier     = (*Tournament)(nil)
 	_ SpinCounter = (*Tournament)(nil)
+	_ PhaseProber = (*Tournament)(nil)
 )

@@ -166,6 +166,10 @@ type waitState struct {
 	// wait (see deadline.go). Owner-only plain field: the bare-Wait fast
 	// path pays one non-atomic load of an exclusively-owned cacheline.
 	deadlines []deadlineSlot
+	// probes[id].pr is participant id's phase probe, nil when disarmed
+	// (see phase.go). Same owner-only plain-load discipline as
+	// deadlines.
+	probes []probeSlot
 }
 
 // initWait applies the constructor options and allocates whatever the
@@ -185,6 +189,7 @@ func (w *waitState) initWait(p int, opts []Option) {
 		w.adaptSlots = make([]adaptSlot, p)
 	}
 	w.deadlines = make([]deadlineSlot, p)
+	w.probes = make([]probeSlot, p)
 }
 
 // WaitPolicy returns the policy the barrier was constructed with.

@@ -65,7 +65,7 @@ func runCollective(out io.Writer, names []string, threads []int, wopts []barrier
 		fmt.Fprint(out, tb.Render())
 	}
 	if jsonout != "" {
-		path, err := writeJSON(jsonout, "allreduce", episodes, repeats, wait, results, nil)
+		path, err := writeJSON(jsonout, "allreduce", episodes, repeats, wait, results, nil, nil)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 //	barrierbench -threads 2,4,8         # custom sweep
 //	barrierbench -algos central,optimized -episodes 5000
 //	barrierbench -metrics               # live telemetry table per algo x P
+//	barrierbench -phases                # per-(phase,level) cost tables + model-drift scoreboard
 //	barrierbench -stream                # windowed telemetry timeline per measurement
 //	barrierbench -collective allreduce  # fused allreduce vs two-episode reduction
 //	barrierbench -jsonout results/      # machine-readable BENCH_<ts>.json
@@ -88,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		csv         = fs.Bool("csv", false, "emit CSV")
 		regions     = fs.Bool("regions", false, "measure omp parallel-region overhead instead of bare barriers")
 		metrics     = fs.Bool("metrics", false, "instrument the measured barriers and print a telemetry table")
+		phasesFlag  = fs.Bool("phases", false, "arm phase/level probes and print per-(phase,level) cost tables plus the model-drift scoreboard")
 		streamFlag  = fs.Bool("stream", false, "attach the windowed telemetry stream and print each measurement's timeline (sparklines, regime, alerts)")
 		streamWin   = fs.Duration("streamwindow", 100*time.Millisecond, "stream rotation window for -stream")
 		jsonout     = fs.String("jsonout", "", "write results as JSON to this file (or BENCH_<timestamp>.json inside this directory)")
@@ -172,6 +174,8 @@ func run(args []string, out io.Writer) error {
 		snaps    []obs.Snapshot
 		traced   []tracedMeasurement
 		streamed []streamedMeasurement
+		phased   []phasedMeasurement
+		drifts   []obs.DriftSnapshot
 	)
 	for _, name := range names {
 		cells := []string{name}
@@ -195,7 +199,7 @@ func run(args []string, out io.Writer) error {
 				// reads; SampleEvery 1 captures every round of the sweep.
 				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
 					topts := obs.TraceOptions{
-						Options:         obs.Options{Name: name, SampleEvery: 1},
+						Options:         obs.Options{Name: name, SampleEvery: 1, Phases: *phasesFlag},
 						SkewThresholdNs: *traceskew,
 					}
 					if *traceskew == 0 {
@@ -206,11 +210,11 @@ func run(args []string, out io.Writer) error {
 					attachStream(in)
 					return tr
 				}
-			case *metrics || *streamFlag:
+			case *metrics || *streamFlag || *phasesFlag:
 				// SampleEvery 1: the sweep is short, so exact per-round
 				// capture beats the default sampling here.
 				ropts.Wrap = func(b barrier.Barrier) barrier.Barrier {
-					in = obs.Instrument(b, obs.Options{Name: name, SampleEvery: 1})
+					in = obs.Instrument(b, obs.Options{Name: name, SampleEvery: 1, Phases: *phasesFlag})
 					attachStream(in)
 					return in
 				}
@@ -221,8 +225,21 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			results = append(results, r)
-			if in != nil && *metrics {
+			if in != nil && (*metrics || *phasesFlag) {
 				snaps = append(snaps, in.Snapshot())
+			}
+			if in != nil && *phasesFlag {
+				pm := phasedMeasurement{label: fmt.Sprintf("%s/%dT", name, p)}
+				// The drift board's first Observe window is the whole
+				// measurement — exactly what a batch sweep wants.
+				if board, err := obs.NewDriftBoard(in, obs.DriftConfig{}); err == nil {
+					board.Observe()
+					sb := board.Scoreboard()
+					pm.drift = &sb
+					drifts = append(drifts, sb)
+				}
+				pm.phases = in.Snapshot().Phases
+				phased = append(phased, pm)
 			}
 			if tr != nil {
 				tr.Flush()
@@ -259,6 +276,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, mt.Render())
 		}
 	}
+	if *phasesFlag {
+		printPhases(out, phased)
+	}
 	if *streamFlag {
 		printTimelines(out, streamed)
 	}
@@ -276,13 +296,38 @@ func run(args []string, out io.Writer) error {
 		if *regions {
 			mode = "parallel-region"
 		}
-		path, err := writeJSON(*jsonout, mode, *episodes, *repeats, wait.String(), results, snaps)
+		path, err := writeJSON(*jsonout, mode, *episodes, *repeats, wait.String(), results, snaps, drifts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", path)
 	}
 	return nil
+}
+
+// phasedMeasurement is one algorithm x thread-count's phase-resolved
+// capture; phases is nil when the algorithm exposes no PhaseProber.
+type phasedMeasurement struct {
+	label  string
+	phases *obs.PhaseSnapshot
+	drift  *obs.DriftSnapshot
+}
+
+// printPhases renders each measurement's per-(phase, level) cost table
+// and its model-drift scoreboard.
+func printPhases(out io.Writer, phased []phasedMeasurement) {
+	fmt.Fprintf(out, "\nPhase-resolved telemetry (per-level step cost; sampled rounds)\n")
+	for _, pm := range phased {
+		fmt.Fprintf(out, "\n== %s\n", pm.label)
+		if pm.phases == nil {
+			fmt.Fprintf(out, "  (no phase probes: algorithm does not implement barrier.PhaseProber)\n")
+			continue
+		}
+		fmt.Fprint(out, obs.FormatPhases(pm.phases))
+		if pm.drift != nil {
+			fmt.Fprint(out, pm.drift.Format())
+		}
+	}
 }
 
 // tracedMeasurement is one algorithm x thread-count's flight-recorder
@@ -376,12 +421,15 @@ type benchReport struct {
 	Repeats    int            `json:"repeats"`
 	Results    []epcc.Result  `json:"results"`
 	Telemetry  []obs.Snapshot `json:"telemetry,omitempty"`
+	// Drift holds one model-vs-measured scoreboard per phased
+	// measurement (-phases only).
+	Drift []obs.DriftSnapshot `json:"drift,omitempty"`
 }
 
 // writeJSON writes the report to dest; if dest is an existing
 // directory, a BENCH_<UTC timestamp>.json file is created inside it.
 // Returns the path actually written.
-func writeJSON(dest string, mode string, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot) (string, error) {
+func writeJSON(dest string, mode string, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot, drifts []obs.DriftSnapshot) (string, error) {
 	if fi, err := os.Stat(dest); err == nil && fi.IsDir() {
 		dest = filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
 	}
@@ -397,6 +445,7 @@ func writeJSON(dest string, mode string, episodes, repeats int, wait string, res
 		Repeats:    repeats,
 		Results:    results,
 		Telemetry:  snaps,
+		Drift:      drifts,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

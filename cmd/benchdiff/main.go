@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"armbarrier/epcc"
+	"armbarrier/obs"
 )
 
 // errRegression is the sentinel run returns when at least one
@@ -55,6 +56,11 @@ type report struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	WaitPolicy string        `json:"wait_policy"`
 	Results    []epcc.Result `json:"results"`
+	// Telemetry is present when the sweep ran with -metrics or
+	// -phases; the phase series inside it feeds the per-phase geomean
+	// deltas. Reports without it diff fine — the phase summary is
+	// simply omitted.
+	Telemetry []obs.Snapshot `json:"telemetry,omitempty"`
 }
 
 // key identifies one measured combination across the two reports.
@@ -142,6 +148,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "geomean %s: %+.1f%% over %d combination(s)\n", regime, (geomean-1)*100, c)
 		}
 	}
+	printPhaseDeltas(out, oldRep.Telemetry, newRep.Telemetry)
 	printFusedSpeedup(out, newRep.Results)
 	if regressions > 0 {
 		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
@@ -164,6 +171,55 @@ func load(path string) (report, error) {
 		return report{}, fmt.Errorf("%s: no results", path)
 	}
 	return rep, nil
+}
+
+// phaseKey identifies one phase's median series across the reports.
+type phaseKey struct {
+	name    string
+	threads int
+	phase   string
+}
+
+// phaseMedians extracts each instrumented combination's per-phase
+// median-sum cost (the measured analogue of the model's per-phase
+// totals) from a report's telemetry, skipping snapshots without phase
+// data.
+func phaseMedians(snaps []obs.Snapshot) map[phaseKey]float64 {
+	m := map[phaseKey]float64{}
+	for _, s := range snaps {
+		if s.Phases == nil {
+			continue
+		}
+		for _, ph := range []string{"arrival", "wakeup"} {
+			if v := s.Phases.PhaseMedianSumNs(ph); !math.IsNaN(v) && v > 0 {
+				m[phaseKey{s.Barrier, s.Participants, ph}] = v
+			}
+		}
+	}
+	return m
+}
+
+// printPhaseDeltas reports the geomean change of the per-phase median
+// costs between the two reports, one line per phase. Either report
+// lacking phase telemetry (old sweeps, runs without -phases) prints
+// nothing — the diff degrades gracefully.
+func printPhaseDeltas(out io.Writer, oldSnaps, newSnaps []obs.Snapshot) {
+	oldM, newM := phaseMedians(oldSnaps), phaseMedians(newSnaps)
+	logSum := map[string]float64{}
+	count := map[string]int{}
+	for k, o := range oldM {
+		if n, ok := newM[k]; ok {
+			logSum[k.phase] += math.Log(n / o)
+			count[k.phase]++
+		}
+	}
+	for _, ph := range []string{"arrival", "wakeup"} {
+		if c := count[ph]; c > 0 {
+			g := math.Exp(logSum[ph] / float64(c))
+			fmt.Fprintf(out, "geomean %s-phase median delta: %+.1f%% over %d combination(s)\n",
+				ph, (g-1)*100, c)
+		}
+	}
 }
 
 // printFusedSpeedup pairs the collective results written by

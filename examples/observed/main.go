@@ -13,6 +13,9 @@
 //	/debug/timeline              windowed time-series rollups as JSON (regime, alerts)
 //	/debug/timeline?format=text  the same series as ASCII sparklines
 //	/debug/timeline?format=prom  current-window gauges with a regime label
+//	/debug/phases                per-(phase,level) costs + model-drift scoreboard (JSON)
+//	/debug/phases?format=prom    the same as armbarrier_phase_*/armbarrier_drift_* families
+//	/debug/phases?format=text    the drift scoreboard as an aligned table
 //
 // Run and scrape:
 //
@@ -67,10 +70,19 @@ func main() {
 		Options: obs.Options{
 			Name:        "phase-loop",
 			SampleEvery: 1,
+			Phases:      true,
 		},
 		RuntimeTrace: true,
 	})
 	defer tr.Close()
+
+	// The drift board compares the per-phase measurements against the
+	// model's per-level predictions; it rides the stream's rotation, so
+	// a sustained divergence lands in the same alert log as stalls.
+	drift, err := obs.NewDriftBoard(tr.Instrumented, obs.DriftConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The watchdog wraps the tracer, so a worker that stops arriving —
 	// a deadlock in phase work, a lost wakeup — is detected and named
@@ -87,6 +99,7 @@ func main() {
 	st := obs.NewStream(tr.Instrumented, obs.StreamOptions{
 		Window:   time.Second,
 		Watchdog: wd,
+		Drift:    drift,
 		OnAlert:  func(a obs.Alert) { log.Printf("%s", a) },
 	})
 
@@ -97,6 +110,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n%s", obs.RenderTimeline(st.Timeline(), 72))
+		fmt.Printf("\n%s", drift.Scoreboard().Format())
 		if eps := tr.Episodes(); len(eps) > 0 {
 			fmt.Printf("\ncaptured %d episode(s), worst:\n%s", len(eps), eps[0].Gantt(72))
 		}
@@ -149,6 +163,7 @@ func main() {
 	mux.Handle("/debug/episodes", tr.EpisodesHandler())
 	mux.Handle("/debug/watchdog", obs.WatchdogHandler(wd))
 	mux.Handle("/debug/timeline", st.TimelineHandler())
+	mux.Handle("/debug/phases", obs.PhasesHandler(tr.Instrumented, drift))
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	fmt.Printf("serving barrier telemetry on http://%s/metrics (episodes at /debug/episodes, timeline at /debug/timeline)\n", *addr)
 	go func() {

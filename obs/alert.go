@@ -33,6 +33,12 @@ const (
 	AlertStragglerCleared
 	// AlertWatchdogStall fires when a window saw watchdog stalls.
 	AlertWatchdogStall
+	// AlertModelDrift fires when a phase's measured cost diverges from
+	// the analytical model's prediction (see DriftBoard in drift.go):
+	// the EWMA'd log2 ratio of measured to predicted per-phase cost
+	// crossed the configured threshold. Single-fire: the latch re-arms
+	// only after the ratio drops back under the threshold.
+	AlertModelDrift
 )
 
 // alertKindNames are the wire labels, used for JSON and Prometheus.
@@ -42,6 +48,7 @@ var alertKindNames = map[AlertKind]string{
 	AlertStraggler:        "straggler",
 	AlertStragglerCleared: "straggler_cleared",
 	AlertWatchdogStall:    "watchdog_stall",
+	AlertModelDrift:       "model_drift",
 }
 
 // String implements fmt.Stringer.

@@ -16,17 +16,20 @@ import (
 // wait. Timestamps are microseconds (the format's unit) measured from
 // the tracer's creation.
 
-// chromeEvent is one entry of the trace-event array.
+// chromeEvent is one entry of the trace-event array. Cname selects one
+// of the viewer's reserved colors, used to tell arrival slices from
+// wake-up slices at a glance.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	S     string         `json:"s,omitempty"`
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the JSON object format wrapper.
@@ -85,6 +88,31 @@ func WriteChromeTrace(w io.Writer, groups ...ChromeGroup) error {
 						"offset_ns": p.ArriveNs - ep.StartNs,
 					},
 				})
+				// Phase marks subdivide the wait into nested slices, one
+				// per probe segment, colored per phase (arrival green,
+				// wake-up orange) so the two phases read apart instantly.
+				prev := p.ArriveNs
+				for _, m := range p.Marks {
+					cname := "thread_state_running"
+					if m.Phase == "wakeup" {
+						cname = "thread_state_iowait"
+					}
+					events = append(events, chromeEvent{
+						Name: m.Phase + " L" + strconv.Itoa(m.Level),
+						Cat:  "phase", Ph: "X",
+						Ts:  float64(prev) / 1e3,
+						Dur: float64(m.AtNs-prev) / 1e3,
+						Pid: pid, Tid: p.ID,
+						Cname: cname,
+						Args: map[string]any{
+							"round":      ep.Round,
+							"phase":      m.Phase,
+							"level":      m.Level,
+							"segment_ns": m.AtNs - prev,
+						},
+					})
+					prev = m.AtNs
+				}
 			}
 		}
 	}

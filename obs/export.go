@@ -101,6 +101,36 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	fmt.Fprintf(&b, "# TYPE armbarrier_round_skew_max_ns gauge\n")
 	fmt.Fprintf(&b, "armbarrier_round_skew_max_ns{%s} %d\n", bl, s.Skew.MaxNs)
 
+	// Phase-resolved families, present only under Options.Phases on a
+	// PhaseProber barrier:
+	//
+	//	armbarrier_phase_cost_ns{phase,level}     histogram (+_sum,_count)
+	//	armbarrier_phase_cost_p50_ns{phase,level} gauge (NaN sampleless)
+	//	armbarrier_phase_cost_max_ns{phase,level} gauge
+	//	armbarrier_phase_skew_ns{phase,level}     gauge
+	if s.Phases != nil {
+		fmt.Fprintf(&b, "# HELP armbarrier_phase_cost_ns Per-(phase,level) step cost on sampled rounds, log2 buckets.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_phase_cost_ns histogram\n")
+		for _, l := range s.Phases.Levels {
+			writePromHist(&b, "armbarrier_phase_cost_ns",
+				fmt.Sprintf("%s,phase=\"%s\",level=\"%d\"", bl, l.Phase, l.Level),
+				l.Hist, l.SumNs)
+		}
+		phaseGauge := func(name, help string, val func(PhaseLevelSnapshot) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, l := range s.Phases.Levels {
+				fmt.Fprintf(&b, "%s{%s,phase=\"%s\",level=\"%d\"} %s\n",
+					name, bl, l.Phase, l.Level, formatFloat(val(l)))
+			}
+		}
+		phaseGauge("armbarrier_phase_cost_p50_ns", "Median per-(phase,level) step cost (NaN when sampleless).",
+			func(l PhaseLevelSnapshot) float64 { return l.QuantileNs(0.5) })
+		phaseGauge("armbarrier_phase_cost_max_ns", "Largest per-(phase,level) step cost observed.",
+			func(l PhaseLevelSnapshot) float64 { return float64(l.MaxNs) })
+		phaseGauge("armbarrier_phase_skew_ns", "Spread of per-participant mean cost at this (phase,level).",
+			func(l PhaseLevelSnapshot) float64 { return l.SkewNs })
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

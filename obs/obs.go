@@ -123,6 +123,12 @@ type Options struct {
 	// NoSpinCounts leaves the wrapped barrier's poll-loop counters off
 	// even when it implements barrier.SpinCounter.
 	NoSpinCounts bool
+	// Phases enables per-(phase, level) probe telemetry (see phase.go)
+	// when the wrapped barrier — or a barrier it decorates via Inner()
+	// — implements barrier.PhaseProber. The probe is armed only on
+	// sampled rounds; other rounds keep the barrier's disarmed
+	// one-plain-load cost. Ignored for barriers without probe hooks.
+	Phases bool
 }
 
 // Instrumented is a telemetry-collecting wrapper around a
@@ -140,6 +146,11 @@ type Instrumented struct {
 	spins  barrier.SpinCounter // nil when unavailable or disabled
 	parks  barrier.ParkCounter // nil when the barrier cannot park
 	fused  []fusedShard        // allocated by Collective()
+	// prober/phases are non-nil iff Options.Phases found probe hooks:
+	// prober is the barrier whose probe slots wait() arms, phases the
+	// recorder that receives the marks.
+	prober barrier.PhaseProber
+	phases *phaseRecorder
 }
 
 // fusedShard counts one participant's fused collective episodes
@@ -178,6 +189,13 @@ func Instrument(b barrier.Barrier, opts Options) *Instrumented {
 	}
 	if pc, ok := b.(barrier.ParkCounter); ok {
 		in.parks = pc
+	}
+	if opts.Phases {
+		if pp := phaseProberOf(b); pp != nil {
+			arr, wake := pp.PhaseShape()
+			in.prober = pp
+			in.phases = newPhaseRecorder(in.base, in.p, arr, wake)
+		}
 	}
 	return in
 }
@@ -225,8 +243,15 @@ func (in *Instrumented) wait(id int, tr *Tracer) {
 	if tr != nil {
 		reg = tr.arrive(id, r/in.sample, start)
 	}
+	if in.phases != nil {
+		in.phases.begin(id, start)
+		in.prober.SetPhaseProbe(id, in.phases)
+	}
 	in.inner.Wait(id)
 	end := in.now()
+	if in.phases != nil {
+		in.prober.SetPhaseProbe(id, nil)
+	}
 	if tr != nil {
 		reg.end()
 		tr.release(id, r/in.sample, end)
@@ -368,6 +393,9 @@ type Snapshot struct {
 	SampleEvery int                   `json:"sample_every"`
 	PerParti    []ParticipantSnapshot `json:"per_participant"`
 	Skew        SkewSnapshot          `json:"skew"`
+	// Phases holds the per-(phase, level) series when Options.Phases is
+	// enabled and the barrier has probe hooks; nil otherwise.
+	Phases *PhaseSnapshot `json:"phases,omitempty"`
 }
 
 // Snapshot captures the current telemetry. Safe to call at any time,
@@ -387,6 +415,9 @@ func (in *Instrumented) Snapshot() Snapshot {
 	}
 	for b := range in.skew.hist {
 		s.Skew.Hist[b] = in.skew.hist[b].Load()
+	}
+	if in.phases != nil {
+		s.Phases = in.phases.snapshot()
 	}
 	for id := range in.shards {
 		sh := &in.shards[id]
@@ -485,6 +516,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			MaxNs:  max(s.Skew.MaxNs, o.Skew.MaxNs),
 			Hist:   mergeHist(s.Skew.Hist, o.Skew.Hist),
 		},
+		Phases: s.Phases.merge(o.Phases),
 	}
 	for i := range s.PerParti {
 		a, b := s.PerParti[i], o.PerParti[i]

@@ -34,6 +34,9 @@ func BenchmarkInstrumentOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		episodeLoop(b, Instrument(barrier.New(p), Options{}))
 	})
+	b.Run("phased", func(b *testing.B) {
+		episodeLoop(b, Instrument(barrier.New(p), Options{Phases: true}))
+	})
 	b.Run("traced", func(b *testing.B) {
 		episodeLoop(b, armedTracer(p))
 	})
@@ -66,10 +69,12 @@ func streamedBarrier(p int, opts ...barrier.Option) (barrier.Barrier, func()) {
 
 // overheadVariant is one wrapped configuration the guard compares
 // against the bare barrier. cleanup (optional) tears down background
-// machinery after the measurement.
+// machinery after the measurement. budget, when nonzero, overrides the
+// guard-wide budget for this variant.
 type overheadVariant struct {
-	name string
-	mk   func() (barrier.Barrier, func())
+	name   string
+	mk     func() (barrier.Barrier, func())
+	budget float64
 }
 
 // overheadGuard measures bare vs each variant and enforces the ratio
@@ -93,13 +98,19 @@ func overheadGuard(t *testing.T, p int, bopts []barrier.Option, budget float64, 
 	}
 	const attempts = 4
 	best := map[string]float64{}
+	budgetOf := func(v overheadVariant) float64 {
+		if v.budget > 0 {
+			return v.budget
+		}
+		return budget
+	}
 	for a := 0; a < attempts; a++ {
 		bare := testing.Benchmark(func(b *testing.B) {
 			episodeLoop(b, barrier.New(p, bopts...))
 		})
 		ok := true
 		for _, v := range variants {
-			if r, judged := best[v.name]; judged && r < budget {
+			if r, judged := best[v.name]; judged && r < budgetOf(v) {
 				continue // already within budget
 			}
 			res := testing.Benchmark(func(b *testing.B) {
@@ -115,7 +126,7 @@ func overheadGuard(t *testing.T, p int, bopts []barrier.Option, budget float64, 
 			if prev, judged := best[v.name]; !judged || ratio < prev {
 				best[v.name] = ratio
 			}
-			if best[v.name] >= budget {
+			if best[v.name] >= budgetOf(v) {
 				ok = false
 			}
 		}
@@ -124,9 +135,9 @@ func overheadGuard(t *testing.T, p int, bopts []barrier.Option, budget float64, 
 		}
 	}
 	for _, v := range variants {
-		if r := best[v.name]; r >= budget {
+		if r, bud := best[v.name], budgetOf(v); r >= bud {
 			t.Errorf("%s overhead %.1f%% exceeds the %.0f%% budget (best of %d attempts)",
-				v.name, (r-1)*100, (budget-1)*100, attempts)
+				v.name, (r-1)*100, (bud-1)*100, attempts)
 		}
 	}
 }
@@ -150,17 +161,31 @@ func TestInstrumentOverheadGuard(t *testing.T) {
 	// cost is a larger fraction of it; the budget widens to 15% there
 	// while the absolute overhead stays the same.
 	budget := 1.10
+	// Phase probes add a fixed per-sampled-round cost on top of the
+	// wrapper's: one clock read and a handful of owner-only atomics per
+	// (phase, level) mark. On dedicated cores that disappears into the
+	// spin time; against parked oversubscribed episodes — several times
+	// cheaper — the same fixed cost is a visibly larger fraction, so the
+	// phased budget widens further than the wrapper's there.
+	phasedBudget := 1.10
 	var bopts []barrier.Option
 	if runtime.NumCPU() < p {
 		bopts = append(bopts, barrier.WithWaitPolicy(barrier.SpinParkWait()))
 		budget = 1.15
+		phasedBudget = 1.25
 	}
 	overheadGuard(t, p, bopts, budget, []overheadVariant{
-		{"instrumented", func() (barrier.Barrier, func()) {
+		{name: "instrumented", mk: func() (barrier.Barrier, func()) {
 			return Instrument(barrier.New(p, bopts...), Options{}), nil
 		}},
-		{"traced", func() (barrier.Barrier, func()) { return armedTracer(p, bopts...), nil }},
-		{"streamed", func() (barrier.Barrier, func()) { return streamedBarrier(p, bopts...) }},
+		// Phase probes at the default sampling rate: the probe sites
+		// stay disarmed on unsampled rounds (one plain load each), so
+		// the per-level telemetry must fit in the envelope above.
+		{name: "phased", budget: phasedBudget, mk: func() (barrier.Barrier, func()) {
+			return Instrument(barrier.New(p, bopts...), Options{Phases: true}), nil
+		}},
+		{name: "traced", mk: func() (barrier.Barrier, func()) { return armedTracer(p, bopts...), nil }},
+		{name: "streamed", mk: func() (barrier.Barrier, func()) { return streamedBarrier(p, bopts...) }},
 	})
 }
 
@@ -178,7 +203,7 @@ func TestStreamOverheadGuardOversubscribed(t *testing.T) {
 	}
 	bopts := []barrier.Option{barrier.WithWaitPolicy(barrier.SpinParkWait())}
 	overheadGuard(t, p, bopts, 1.15, []overheadVariant{
-		{"streamed", func() (barrier.Barrier, func()) { return streamedBarrier(p, bopts...) }},
+		{name: "streamed", mk: func() (barrier.Barrier, func()) { return streamedBarrier(p, bopts...) }},
 	})
 }
 

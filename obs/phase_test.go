@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"armbarrier/barrier"
+)
+
+// TestBucketOfBoundaries pins the log2 bucket edges the phase (and
+// wait) histograms depend on: zero and negatives collapse into bucket
+// 0, each bucket i holds [2^(i-1), 2^i), and everything past the last
+// finite edge lands in the overflow bucket.
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{(1 << 10) - 1, 10},
+		{1 << 10, 11},
+		{(1 << 39) - 1, 39},
+		{1 << 39, 40},
+		{1 << 45, NumBuckets - 1},
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Round-trip against the exported bucket bounds: each finite
+	// bucket's inclusive upper edge maps back into it, and the next
+	// nanosecond into the next bucket.
+	for i := 1; i < NumBuckets-1; i++ {
+		up := BucketUpperNs(i)
+		if got := bucketOf(up); got != i {
+			t.Errorf("bucketOf(BucketUpperNs(%d)=%d) = %d, want %d", i, up, got, i)
+		}
+		if got := bucketOf(up + 1); got != i+1 {
+			t.Errorf("bucketOf(BucketUpperNs(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestPhaseQuantileSamplelessNaN pins the sampleless convention: a
+// (phase, level) cell with no samples yields NaN quantiles and a
+// phase with no sampled level a NaN median sum — matching the stream
+// exporter's NaN gauges for empty windows rather than a misleading 0.
+func TestPhaseQuantileSamplelessNaN(t *testing.T) {
+	empty := PhaseLevelSnapshot{Phase: "arrival", Hist: make([]uint64, NumBuckets)}
+	if got := empty.QuantileNs(0.5); !math.IsNaN(got) {
+		t.Errorf("empty cell QuantileNs(0.5) = %g, want NaN", got)
+	}
+	if got := empty.MeanNs(); got != 0 {
+		t.Errorf("empty cell MeanNs = %g, want 0", got)
+	}
+	ps := &PhaseSnapshot{ArrivalLevels: 1, WakeupLevels: 1, Levels: []PhaseLevelSnapshot{
+		empty,
+		{Phase: "wakeup", Hist: make([]uint64, NumBuckets)},
+	}}
+	if got := ps.PhaseMedianSumNs("arrival"); !math.IsNaN(got) {
+		t.Errorf("sampleless PhaseMedianSumNs = %g, want NaN", got)
+	}
+	// The Prometheus surface keeps the same convention: the p50 gauge
+	// of a sampleless cell must spell NaN, never 0.
+	var b strings.Builder
+	err := WritePrometheus(&b, Snapshot{Barrier: "x", Phases: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `armbarrier_phase_cost_p50_ns{barrier="x",phase="arrival",level="0"} NaN`) {
+		t.Errorf("sampleless p50 gauge not exported as NaN:\n%s", b.String())
+	}
+}
+
+// TestInstrumentPhases checks the end-to-end armed path: Options.Phases
+// over a PhaseProber yields a snapshot whose shape matches the
+// barrier's, with samples in the cells, and the same series survives a
+// JSON round trip (the /debug/phases payload).
+func TestInstrumentPhases(t *testing.T) {
+	const p, rounds = 8, 50
+	in := Instrument(barrier.New(p), Options{SampleEvery: 1, Phases: true})
+	pr := in.Inner().(barrier.PhaseProber)
+	arr, wake := pr.PhaseShape()
+	barrier.Run(in, func(id int) {
+		for r := 0; r < rounds; r++ {
+			in.Wait(id)
+		}
+	})
+	s := in.Snapshot()
+	if s.Phases == nil {
+		t.Fatal("Options.Phases produced no phase snapshot")
+	}
+	if s.Phases.ArrivalLevels != arr || s.Phases.WakeupLevels != wake {
+		t.Fatalf("snapshot shape (%d,%d), barrier shape (%d,%d)",
+			s.Phases.ArrivalLevels, s.Phases.WakeupLevels, arr, wake)
+	}
+	if got, want := len(s.Phases.Levels), arr+wake; got != want {
+		t.Fatalf("%d level cells, want %d", got, want)
+	}
+	var total uint64
+	for _, l := range s.Phases.Levels {
+		total += l.Samples
+		if l.Samples > 0 && l.SumNs < 0 {
+			t.Errorf("%s L%d: negative SumNs %d", l.Phase, l.Level, l.SumNs)
+		}
+	}
+	// Every participant records >= 1 arrival and exactly 1 wake-up per
+	// sampled round, so the floor is 2 marks per participant-round.
+	if total < uint64(2*p*rounds) {
+		t.Errorf("%d total marks over %d participant-rounds, want >= %d", total, p*rounds, 2*p*rounds)
+	}
+	if l := s.Phases.Level("arrival", 0); l == nil || l.Samples == 0 {
+		t.Error("arrival level 0 missing or sampleless")
+	}
+	if l := s.Phases.Level("arrival", arr); l != nil {
+		t.Error("Level() out of range returned a cell")
+	}
+
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Phases == nil || len(back.Phases.Levels) != arr+wake {
+		t.Error("phase series lost in JSON round trip")
+	}
+
+	// Merge doubles the samples when shapes match.
+	merged := s.Merge(s)
+	var mtotal uint64
+	for _, l := range merged.Phases.Levels {
+		mtotal += l.Samples
+	}
+	if mtotal != 2*total {
+		t.Errorf("merged samples %d, want %d", mtotal, 2*total)
+	}
+}
+
+// TestInstrumentPhasesUnsupported checks graceful degradation: phases
+// requested on a barrier without probes yields a snapshot without a
+// phase series, not a panic.
+func TestInstrumentPhasesUnsupported(t *testing.T) {
+	in := Instrument(barrier.NewCentral(4), Options{SampleEvery: 1, Phases: true})
+	barrier.Run(in, func(id int) {
+		for r := 0; r < 10; r++ {
+			in.Wait(id)
+		}
+	})
+	if s := in.Snapshot(); s.Phases != nil {
+		t.Error("central barrier produced a phase snapshot without probes")
+	}
+}
+
+// TestPhasesSampling checks that probes follow the instrumentation's
+// sampling: with SampleEvery 4 only ~1/4 of the rounds mark.
+func TestPhasesSampling(t *testing.T) {
+	const p, rounds = 4, 400
+	in := Instrument(barrier.New(p), Options{SampleEvery: 4, Phases: true})
+	barrier.Run(in, func(id int) {
+		for r := 0; r < rounds; r++ {
+			in.Wait(id)
+		}
+	})
+	s := in.Snapshot()
+	if s.Phases == nil {
+		t.Fatal("no phase snapshot")
+	}
+	wake := s.Phases.Level("wakeup", 0)
+	if wake == nil {
+		t.Fatal("no wakeup level 0")
+	}
+	// Exactly rounds/4 sampled rounds, each marking one wakeup cell
+	// per participant across the wake levels; level 0 alone gets at
+	// most p marks per sampled round and at least 1 (the champion).
+	maxMarks := uint64(p * rounds / 4)
+	if wake.Samples == 0 || wake.Samples > maxMarks {
+		t.Errorf("wakeup L0 samples %d with SampleEvery 4, want in (0, %d]", wake.Samples, maxMarks)
+	}
+}

@@ -83,6 +83,11 @@ type StreamOptions struct {
 	// Watchdog, when non-nil, folds the stall detector's counters into
 	// each window (WatchdogStalls) and raises AlertWatchdogStall.
 	Watchdog *barrier.Watchdog
+	// Drift, when non-nil, is observed once per rotation: the board
+	// closes a drift window on the same cadence as the rollups, and
+	// any AlertModelDrift it raises joins the stream's alert history
+	// and OnAlert dispatch.
+	Drift *DriftBoard
 	// OnAlert, if non-nil, is called once per raised alert, after the
 	// rotation that raised it completes (never under the stream's
 	// lock, so handlers may call Timeline/Series/Alerts freely). The
@@ -234,6 +239,20 @@ func (s *Stream) Rotate() {
 	snap := s.in.Snapshot()
 	stalls := s.prevStallCount()
 	fired := s.ingest(snap, stalls, s.in.now())
+	if s.opts.Drift != nil {
+		if drifted := s.opts.Drift.Observe(); len(drifted) > 0 {
+			s.mu.Lock()
+			for _, a := range drifted {
+				s.alerts = append(s.alerts, a)
+				s.alertCounts[a.Kind]++
+			}
+			if over := len(s.alerts) - maxAlerts; over > 0 {
+				s.alerts = append(s.alerts[:0], s.alerts[over:]...)
+			}
+			s.mu.Unlock()
+			fired = append(fired, drifted...)
+		}
+	}
 	s.dispatch(fired)
 }
 

@@ -90,9 +90,21 @@ type TraceOptions struct {
 // traceSlot is one sampled round's stamps for one participant. Written
 // only by the owning participant; read by participant 0 one round
 // later, after the barrier has ordered the writes before the read.
+// marks is allocated only with Options.Phases and carries the round's
+// phase probe events under the same single-writer discipline.
 type traceSlot struct {
 	arrive  atomic.Int64
 	release atomic.Int64
+	nmarks  atomic.Uint32
+	marks   []traceMark
+}
+
+// traceMark is one phase probe event in a ring slot: timestamp plus
+// phase and level packed into meta (phase<<16 | level). Atomics for
+// the same race-detector cleanliness as the arrive/release stamps.
+type traceMark struct {
+	at   atomic.Int64
+	meta atomic.Uint32
 }
 
 // traceRegion lets Instrumented.wait end a runtime/trace region
@@ -175,6 +187,11 @@ func Trace(b barrier.Barrier, opts TraceOptions) *Tracer {
 	t.rings = make([][]traceSlot, in.p)
 	for i := range t.rings {
 		t.rings[i] = make([]traceSlot, ring)
+		if in.phases != nil {
+			for k := range t.rings[i] {
+				t.rings[i][k].marks = make([]traceMark, in.phases.stride)
+			}
+		}
 	}
 	ctx := pprof.WithLabels(context.Background(), pprof.Labels("barrier", in.name))
 	if opts.RuntimeTrace {
@@ -211,9 +228,25 @@ func (t *Tracer) arrive(id int, k uint64, ns int64) traceRegion {
 	return traceRegion{}
 }
 
-// release records a sampled release stamp.
+// release records a sampled release stamp and, with phases enabled,
+// copies the round's probe marks from the recorder's owner-only
+// scratch into the ring (same single-writer ordering as the stamps).
 func (t *Tracer) release(id int, k uint64, ns int64) {
-	t.rings[id][k&t.ringMask].release.Store(ns)
+	slot := &t.rings[id][k&t.ringMask]
+	slot.release.Store(ns)
+	if t.phases != nil && slot.marks != nil {
+		sh := &t.phases.shards[id]
+		n := sh.nmarks
+		if n > len(slot.marks) {
+			n = len(slot.marks)
+		}
+		for j := 0; j < n; j++ {
+			m := sh.marks[j]
+			slot.marks[j].at.Store(m.atNs)
+			slot.marks[j].meta.Store(uint32(m.phase)<<16 | uint32(m.level)&0xffff)
+		}
+		slot.nmarks.Store(uint32(n))
+	}
 }
 
 // evaluate reads sampled round k's ring slots, applies the trigger,
@@ -238,12 +271,34 @@ func (t *Tracer) evaluate(k uint64) {
 		return
 	}
 	t.triggered.Add(1)
+	parts := append([]EpisodeParticipant(nil), t.scratch...)
+	if t.phases != nil {
+		// Decode the round's probe marks only for kept episodes; the
+		// ordering argument licensing the stamp reads covers the marks.
+		for i := range parts {
+			s := &t.rings[i][slot]
+			n := int(s.nmarks.Load())
+			if n > len(s.marks) {
+				n = len(s.marks)
+			}
+			ms := make([]EpisodeMark, n)
+			for j := 0; j < n; j++ {
+				meta := s.marks[j].meta.Load()
+				ms[j] = EpisodeMark{
+					Phase: barrier.Phase(meta >> 16).String(),
+					Level: int(meta & 0xffff),
+					AtNs:  s.marks[j].at.Load(),
+				}
+			}
+			parts[i].Marks = ms
+		}
+	}
 	t.keep(Episode{
 		Round:     k * t.sample,
 		StartNs:   first,
 		SkewNs:    skew,
 		MaxWaitNs: maxWait,
-		Parts:     append([]EpisodeParticipant(nil), t.scratch...),
+		Parts:     parts,
 	})
 }
 
@@ -382,6 +437,17 @@ type EpisodeParticipant struct {
 	ID        int   `json:"id"`
 	ArriveNs  int64 `json:"arrive_ns"`
 	ReleaseNs int64 `json:"release_ns"`
+	// Marks are the round's phase probe events in occurrence order,
+	// present only when the tracer ran with Options.Phases.
+	Marks []EpisodeMark `json:"marks,omitempty"`
+}
+
+// EpisodeMark is one phase/level probe event inside an episode.
+type EpisodeMark struct {
+	// Phase is "arrival" or "wakeup".
+	Phase string `json:"phase"`
+	Level int    `json:"level"`
+	AtNs  int64  `json:"at_ns"`
 }
 
 // WaitNs is this participant's Wait latency in the episode.
@@ -406,9 +472,14 @@ func (e Episode) LastArriver() int {
 // Gantt renders the episode as per-participant lanes over real time,
 // using the same renderer as sim.Recorder.Gantt: each lane is filled
 // from arrival to release ('w'), with the last arriver upper-cased.
+// When phase marks were captured, each wait is subdivided instead:
+// 'a' while climbing the arrival tree, 'n' once the notification is
+// the only thing left (later spans overwrite, so the phase glyphs sit
+// on top of the base 'w' fill).
 func (e Episode) Gantt(width int) string {
 	spans := make([]lanes.Span, 0, len(e.Parts))
 	straggler := e.LastArriver()
+	phased := false
 	for _, p := range e.Parts {
 		g := byte('w')
 		if p.ID == straggler {
@@ -420,11 +491,30 @@ func (e Episode) Gantt(width int) string {
 			End:   float64(p.ReleaseNs),
 			Glyph: g,
 		})
+		prev := p.ArriveNs
+		for _, m := range p.Marks {
+			phased = true
+			g := byte('a')
+			if m.Phase == "wakeup" {
+				g = 'n'
+			}
+			spans = append(spans, lanes.Span{
+				Lane:  p.ID,
+				Start: float64(prev),
+				End:   float64(m.AtNs),
+				Glyph: g,
+			})
+			prev = m.AtNs
+		}
+	}
+	legend := "(w = waiting in barrier, W = last arriver)"
+	if phased {
+		legend = "(a = arrival phase, n = notification phase, w/W = unphased wait)"
 	}
 	return lanes.Render(spans, lanes.Config{
 		Lanes:  len(e.Parts),
 		Width:  width,
-		Legend: "(w = waiting in barrier, W = last arriver)",
+		Legend: legend,
 		Label:  func(l int) string { return "p" + twoDigits(l) },
 	})
 }
