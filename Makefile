@@ -9,7 +9,7 @@ GO ?= go
 TEST_TIMEOUT ?= 180s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke
+.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke hier-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,9 @@ check: build vet fmt race
 		-run 'TestStream|TestTimeline|TestRenderTimeline' ./obs/ ./cmd/barrierbench/
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
 		-run 'TestPhase|TestDrift|TestBucketOf|TestInstrumentPhases' ./barrier/ ./obs/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestHier|TestCachedMemoizes|TestSearchHierGroupSizes|TestMeasureHierGroupSizes' \
+		./barrier/ ./model/ ./hostlat/ ./tune/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -70,6 +73,19 @@ timeline-smoke:
 	$(GO) run ./cmd/barrierbench -stream -streamwindow 20ms \
 		-algos optimized -threads 4 -episodes 2000 -repeats 1
 	$(GO) run ./examples/observed -once | tail -n 12
+
+# Hierarchical barrier smoke: the dedicated two-level suite under the
+# race detector at small P (group lines, representative tree, auto
+# group size, targeted parked-representative wake), then one plain
+# 1024-participant spinpark round through the CLI — the oversubscribed
+# regime the two-level design exists for, cheap because a single
+# measurement point is ~a second even at 1024 goroutines.
+hier-smoke:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestHier|TestSearchHierGroupSizes|TestMeasureHierGroupSizes' \
+		./barrier/ ./model/ ./tune/
+	$(GO) run ./cmd/barrierbench -algos hier,dtour -plist 1024 \
+		-episodes 50 -repeats 1 -wait spinpark
 
 # Phase-resolved telemetry smoke: one barrierbench run with the phase
 # probes armed (per-level tables plus the model-drift scoreboard on

@@ -24,6 +24,7 @@ func TestWaitSteadyStateDoesNotAllocate(t *testing.T) {
 		NewRing(4),
 		NewNWayDissemination(4, 2),
 		NewHybrid(4, HybridConfig{}),
+		NewHierarchical(4, HierarchicalConfig{GroupSize: 2}),
 	}
 	for _, b := range barriers {
 		b := b

@@ -50,6 +50,19 @@ func factories() map[string]func(p int) Barrier {
 		"hybrid-tx2": func(p int) Barrier {
 			return NewHybrid(p, HybridConfig{Machine: topology.ThunderX2()})
 		},
+		"hier": func(p int) Barrier {
+			return NewHierarchical(p, HierarchicalConfig{})
+		},
+		"hier-g2": func(p int) Barrier {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 2})
+		},
+		"hier-g4-f2": func(p int) Barrier {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 4, FanIn: 2})
+		},
+		"hier-g1": func(p int) Barrier {
+			// Degenerate all-singleton groups: pure representative tree.
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 1})
+		},
 	}
 }
 

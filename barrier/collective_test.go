@@ -34,6 +34,15 @@ func collectiveFactories() map[string]func(p int, opts ...Option) Collective {
 		"optimized-kp920": func(p int, o ...Option) Collective {
 			return NewOptimized(p, OptimizedConfig{Machine: topology.Kunpeng920()}, o...)
 		},
+		"hier-g2": func(p int, o ...Option) Collective {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 2}, o...)
+		},
+		"hier-g4-f2": func(p int, o ...Option) Collective {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 4, FanIn: 2}, o...)
+		},
+		"hier-g1": func(p int, o ...Option) Collective {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 1}, o...)
+		},
 	}
 }
 

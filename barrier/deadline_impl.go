@@ -58,6 +58,11 @@ func (b *Ring) WaitDeadline(id int, timeout time.Duration) error {
 	return b.runDeadline(b, id, timeout)
 }
 
+// WaitDeadline implements DeadlineWaiter.
+func (b *Hierarchical) WaitDeadline(id int, timeout time.Duration) error {
+	return b.runDeadline(b, id, timeout)
+}
+
 var (
 	_ DeadlineWaiter = (*Central)(nil)
 	_ DeadlineWaiter = (*Dissemination)(nil)
@@ -69,5 +74,6 @@ var (
 	_ DeadlineWaiter = (*NWayDissemination)(nil)
 	_ DeadlineWaiter = (*Hybrid)(nil)
 	_ DeadlineWaiter = (*Ring)(nil)
+	_ DeadlineWaiter = (*Hierarchical)(nil)
 	_ DeadlineWaiter = (*Channel)(nil)
 )

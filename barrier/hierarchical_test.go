@@ -1,0 +1,144 @@
+package barrier
+
+import (
+	"runtime"
+	"testing"
+
+	"armbarrier/model"
+)
+
+// TestHierarchicalGrouping pins the consecutive-id group assignment:
+// ids share a line with their neighbours (the placement under which
+// compactly-pinned threads share a cluster) and the trailing group
+// absorbs the remainder.
+func TestHierarchicalGrouping(t *testing.T) {
+	h := NewHierarchical(10, HierarchicalConfig{GroupSize: 4})
+	if h.GroupSize() != 4 {
+		t.Fatalf("GroupSize = %d, want 4", h.GroupSize())
+	}
+	if h.Name() != "hier-g4" {
+		t.Fatalf("Name = %q, want hier-g4", h.Name())
+	}
+	wantSizes := []uint32{4, 4, 2}
+	if len(h.groups) != len(wantSizes) {
+		t.Fatalf("%d groups, want %d", len(h.groups), len(wantSizes))
+	}
+	for c, want := range wantSizes {
+		if h.groups[c].size != want {
+			t.Errorf("group %d size = %d, want %d", c, h.groups[c].size, want)
+		}
+	}
+	for id := 0; id < 10; id++ {
+		if got, want := h.groupOf[id], id/4; got != want {
+			t.Errorf("groupOf[%d] = %d, want %d", id, got, want)
+		}
+	}
+	verifyBarrier(t, h, 50)
+}
+
+// TestHierarchicalScheduleAndShape pins the drift-scoreboard contract:
+// Schedule()'s fan-ins are [groupSize, representative-tree fan-ins...]
+// and PhaseShape matches (1 + tree levels, 2 wake stages).
+func TestHierarchicalScheduleAndShape(t *testing.T) {
+	h := NewHierarchical(16, HierarchicalConfig{GroupSize: 4, FanIn: 2})
+	wantSched := []int{4, 2, 2} // G = 4 representatives, fan-in 2 → 2 levels
+	got := h.Schedule()
+	if len(got) != len(wantSched) {
+		t.Fatalf("Schedule = %v, want %v", got, wantSched)
+	}
+	for i := range got {
+		if got[i] != wantSched[i] {
+			t.Fatalf("Schedule = %v, want %v", got, wantSched)
+		}
+	}
+	arr, wake := h.PhaseShape()
+	if arr != 3 || wake != 2 {
+		t.Fatalf("PhaseShape = (%d,%d), want (3,2)", arr, wake)
+	}
+}
+
+// TestHierarchicalDegenerateShapes pins the collapsed configurations:
+// one group (no representative stage) and all-singleton groups (a pure
+// representative tree) both report a single wake-up level, so every
+// declared level is actually marked.
+func TestHierarchicalDegenerateShapes(t *testing.T) {
+	single := NewHierarchical(4, HierarchicalConfig{GroupSize: 4})
+	if arr, wake := single.PhaseShape(); arr != 1 || wake != 1 {
+		t.Fatalf("single group PhaseShape = (%d,%d), want (1,1)", arr, wake)
+	}
+	singletons := NewHierarchical(8, HierarchicalConfig{GroupSize: 1})
+	if arr, wake := singletons.PhaseShape(); arr != 3 || wake != 1 {
+		t.Fatalf("singleton groups PhaseShape = (%d,%d), want (3,1)", arr, wake)
+	}
+	verifyBarrier(t, single, 20)
+	verifyBarrier(t, singletons, 20)
+}
+
+// TestHierarchicalAutoGroupSize pins the auto-derivation: GroupSize 0
+// resolves to one of the model's power-of-two candidates, and the
+// derivation is deterministic within a process (the probe is cached,
+// so two constructions cannot disagree).
+func TestHierarchicalAutoGroupSize(t *testing.T) {
+	a := NewHierarchical(64, HierarchicalConfig{})
+	b := NewHierarchical(64, HierarchicalConfig{})
+	if a.GroupSize() != b.GroupSize() {
+		t.Fatalf("auto group size flapped: %d vs %d", a.GroupSize(), b.GroupSize())
+	}
+	in := false
+	for _, c := range model.HierGroupCandidates(64) {
+		if c == a.GroupSize() {
+			in = true
+		}
+	}
+	if !in {
+		t.Fatalf("auto group size %d not a candidate %v", a.GroupSize(), model.HierGroupCandidates(64))
+	}
+	// Oversubscribed regime: with more participants than processors the
+	// arrivals serialize, and the least-total-work shape — one flat
+	// group — must be derived (the measured hand search confirms it).
+	if p := 4 * runtime.GOMAXPROCS(0); AutoGroupSize(p) != p {
+		t.Fatalf("oversubscribed auto group size %d, want flat %d", AutoGroupSize(p), p)
+	}
+	verifyBarrier(t, a, 10)
+}
+
+// TestHierarchicalParkedRepresentativeWake drives the O(G) targeted
+// representative wake under the parking policy at a P large enough
+// that representatives really park: a lost wake would deadlock the
+// round (the suite's timeout catches it), a stale one is absorbed.
+func TestHierarchicalParkedRepresentativeWake(t *testing.T) {
+	h := NewHierarchical(64, HierarchicalConfig{GroupSize: 8},
+		WithWaitPolicy(SpinParkWait()))
+	verifyBarrier(t, h, 30)
+	parked := false
+	for id := 0; id < 64; id++ {
+		if p, _ := h.ParkCounts(id); p > 0 {
+			parked = true
+		}
+	}
+	if !parked {
+		t.Skip("no participant parked; host too parallel for the assertion")
+	}
+}
+
+// TestHierarchicalAllReduceMatchesSerial checks the fused group-line +
+// tree combine against a serial sum at sizes that exercise remainder
+// groups and multi-level trees.
+func TestHierarchicalAllReduceMatchesSerial(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13, 16, 33} {
+		h := NewHierarchical(p, HierarchicalConfig{GroupSize: 4, FanIn: 2})
+		want := int64(0)
+		for id := 0; id < p; id++ {
+			want += int64(id + 1)
+		}
+		rounds := 10
+		Run(h, func(id int) {
+			for r := 0; r < rounds; r++ {
+				got := AllReduceInt64(h, id, int64(id+1), SumInt64)
+				if got != want {
+					panic("allreduce mismatch")
+				}
+			}
+		})
+	}
+}

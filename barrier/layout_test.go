@@ -45,6 +45,18 @@ func TestFwayCounterPadded(t *testing.T) {
 	}
 }
 
+func TestHierGroupLinePadded(t *testing.T) {
+	// The whole point of the group line is exclusive ownership: counter,
+	// sense and result must share exactly one padded line, and the
+	// representative slots must not straddle into a neighbour's.
+	if got := unsafe.Sizeof(hierGroup{}); got != cacheLine {
+		t.Fatalf("hierGroup is %d bytes, want %d", got, cacheLine)
+	}
+	if got := unsafe.Sizeof(hierRep{}); got != cacheLine {
+		t.Fatalf("hierRep is %d bytes, want %d", got, cacheLine)
+	}
+}
+
 func TestDisseminationLocalPadded(t *testing.T) {
 	if got := unsafe.Sizeof(disseminationLocal{}); got < cacheLine {
 		t.Fatalf("disseminationLocal is %d bytes, want >= %d", got, cacheLine)

@@ -21,6 +21,9 @@ func phaseProbers(p int) map[string]Barrier {
 		"dissemination":  NewDissemination(p),
 		"hyper":          NewHyper(p),
 		"optimized":      New(p),
+		"hier":           NewHierarchical(p, HierarchicalConfig{GroupSize: 2}),
+		"hier-g1":        NewHierarchical(p, HierarchicalConfig{GroupSize: 1}),
+		"hier-g4":        NewHierarchical(p, HierarchicalConfig{GroupSize: 4, FanIn: 2}),
 	}
 }
 

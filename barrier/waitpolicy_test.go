@@ -30,6 +30,9 @@ func optFactories() map[string]func(p int, opts ...Option) Barrier {
 		"ring":      func(p int, o ...Option) Barrier { return NewRing(p, o...) },
 		"hybrid":    func(p int, o ...Option) Barrier { return NewHybrid(p, HybridConfig{}, o...) },
 		"ndis2":     func(p int, o ...Option) Barrier { return NewNWayDissemination(p, 2, o...) },
+		"hier": func(p int, o ...Option) Barrier {
+			return NewHierarchical(p, HierarchicalConfig{GroupSize: 2}, o...)
+		},
 	}
 }
 
@@ -129,6 +132,7 @@ func TestSpinParkOversubscribed(t *testing.T) {
 		func(p int, o ...Option) Barrier { return NewCentral(p, o...) },
 		func(p int, o ...Option) Barrier { return New(p, o...) },
 		func(p int, o ...Option) Barrier { return NewHybrid(p, HybridConfig{}, o...) },
+		func(p int, o ...Option) Barrier { return NewHierarchical(p, HierarchicalConfig{GroupSize: 4}, o...) },
 	} {
 		verifyBarrier(t, mk(16, WithWaitPolicy(SpinParkWait())), 5)
 		verifyBarrier(t, mk(16, WithWaitPolicy(AdaptiveWait())), 5)

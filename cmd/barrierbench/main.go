@@ -59,13 +59,22 @@ var algos = map[string]func(p int, opts ...barrier.Option) barrier.Barrier{
 	"ndis2": func(p int, o ...barrier.Option) barrier.Barrier {
 		return barrier.NewNWayDissemination(p, 2, o...)
 	},
+	// hier auto-derives its group size from the cached host-latency
+	// probe; use -hiergroup to pin it instead.
+	"hier": func(p int, o ...barrier.Option) barrier.Barrier {
+		return barrier.NewHierarchical(p, barrier.HierarchicalConfig{GroupSize: hierGroupSize}, o...)
+	},
 }
+
+// hierGroupSize is the -hiergroup flag value picked up by the "hier"
+// constructor; 0 keeps the probe-based auto-derivation.
+var hierGroupSize int
 
 // order fixes the display order.
 var order = []string{
 	"central", "dissemination", "combining", "mcs",
 	"tournament", "stour", "dtour", "hyper", "optimized",
-	"channel", "ring", "hybrid", "ndis2",
+	"channel", "ring", "hybrid", "ndis2", "hier",
 }
 
 func main() {
@@ -80,6 +89,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		threadsFlag = fs.String("threads", "", "comma-separated participant counts (default 1,2,4,...,GOMAXPROCS)")
+		plistFlag   = fs.String("plist", "", "large-P scaling sweep: comma-separated participant counts run in one invocation into a single report (overrides -threads and -oversub; e.g. 64,256,1024,4096)")
+		hierGroup   = fs.Int("hiergroup", 0, "group size for the hier algorithm (0 = probe-based auto-derivation)")
 		algosFlag   = fs.String("algos", "", "comma-separated algorithm names (default all)")
 		waitFlag    = fs.String("wait", "", "wait policy: spin, spinyield (default), spinpark, adaptive")
 		oversub     = fs.Bool("oversub", false, "oversubscription sweep: participants at 1x, 2x and 4x GOMAXPROCS (overrides -threads)")
@@ -126,6 +137,15 @@ func run(args []string, out io.Writer) error {
 		procs := runtime.GOMAXPROCS(0)
 		threads = []int{procs, 2 * procs, 4 * procs}
 	}
+	if *plistFlag != "" {
+		if threads, err = parseThreads(*plistFlag); err != nil {
+			return err
+		}
+	}
+	if *hierGroup < 0 {
+		return fmt.Errorf("-hiergroup must be >= 0, got %d", *hierGroup)
+	}
+	hierGroupSize = *hierGroup
 	names := order
 	if *algosFlag != "" {
 		names = nil

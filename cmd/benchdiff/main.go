@@ -117,6 +117,9 @@ func run(args []string, out io.Writer) error {
 	// Per-regime log-ratio accumulators for the geomean summary.
 	regimeLogSum := map[string]float64{}
 	regimeCount := map[string]int{}
+	// Per-P accumulators for multi-P sweep reports (-plist runs).
+	plogSum := map[int]float64{}
+	pcount := map[int]int{}
 	for _, k := range keys {
 		o := oldBy[k]
 		n, ok := newBy[k]
@@ -135,6 +138,8 @@ func run(args []string, out io.Writer) error {
 			regime := epcc.Regime(k.threads, newRep.GOMAXPROCS)
 			regimeLogSum[regime] += math.Log(n.OverheadNs / o.OverheadNs)
 			regimeCount[regime]++
+			plogSum[k.threads] += math.Log(n.OverheadNs / o.OverheadNs)
+			pcount[k.threads]++
 		}
 		fmt.Fprintf(out, "%-16s %8d %12.1f %12.1f %+7.1f%%%s\n",
 			k.name, k.threads, o.OverheadNs, n.OverheadNs, delta*100, mark)
@@ -148,6 +153,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "geomean %s: %+.1f%% over %d combination(s)\n", regime, (geomean-1)*100, c)
 		}
 	}
+	printPerThreadDeltas(out, plogSum, pcount)
 	printPhaseDeltas(out, oldRep.Telemetry, newRep.Telemetry)
 	printFusedSpeedup(out, newRep.Results)
 	if regressions > 0 {
@@ -171,6 +177,27 @@ func load(path string) (report, error) {
 		return report{}, fmt.Errorf("%s: no results", path)
 	}
 	return rep, nil
+}
+
+// printPerThreadDeltas breaks the geomean down per participant count —
+// the scaling view a multi-P sweep (barrierbench -plist) calls for,
+// where a single pooled number would hide a large-P regression behind
+// small-P wins. Old single-P reports pool to one thread count, where
+// the breakdown adds nothing beyond the regime summary, so it is
+// skipped — the graceful-fallback path.
+func printPerThreadDeltas(out io.Writer, logSum map[int]float64, count map[int]int) {
+	if len(count) < 2 {
+		return
+	}
+	ps := make([]int, 0, len(count))
+	for p := range count {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	for _, p := range ps {
+		g := math.Exp(logSum[p] / float64(count[p]))
+		fmt.Fprintf(out, "geomean %dT: %+.1f%% over %d combination(s)\n", p, (g-1)*100, count[p])
+	}
 }
 
 // phaseKey identifies one phase's median series across the reports.

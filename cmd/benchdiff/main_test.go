@@ -139,6 +139,54 @@ func TestDiffGeomeanPerRegime(t *testing.T) {
 	mustContain(t, sb.String(), "geomean oversubscribed: -50.0% over 1 combination(s)")
 }
 
+func TestDiffPerThreadGeomeanMultiP(t *testing.T) {
+	// A -plist style sweep: two algorithms at three participant counts.
+	// 64T doubles for both, 256T halves, 1024T is flat — the per-P lines
+	// must keep the scaling points apart.
+	oldPath := writeFixtureProcs(t, "old.json", 4, "spinpark", []epcc.Result{
+		{Name: "dtour", Threads: 64, OverheadNs: 1000, Episodes: 1000},
+		{Name: "hier", Threads: 64, OverheadNs: 1000, Episodes: 1000},
+		{Name: "dtour", Threads: 256, OverheadNs: 4000, Episodes: 1000},
+		{Name: "hier", Threads: 256, OverheadNs: 4000, Episodes: 1000},
+		{Name: "dtour", Threads: 1024, OverheadNs: 9000, Episodes: 1000},
+	})
+	newPath := writeFixtureProcs(t, "new.json", 4, "spinpark", []epcc.Result{
+		{Name: "dtour", Threads: 64, OverheadNs: 2000, Episodes: 1000},
+		{Name: "hier", Threads: 64, OverheadNs: 2000, Episodes: 1000},
+		{Name: "dtour", Threads: 256, OverheadNs: 2000, Episodes: 1000},
+		{Name: "hier", Threads: 256, OverheadNs: 2000, Episodes: 1000},
+		{Name: "dtour", Threads: 1024, OverheadNs: 9000, Episodes: 1000},
+	})
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("doubled 64T overhead should regress, got %v", err)
+	}
+	mustContain(t, sb.String(), "geomean 64T: +100.0% over 2 combination(s)")
+	mustContain(t, sb.String(), "geomean 256T: -50.0% over 2 combination(s)")
+	mustContain(t, sb.String(), "geomean 1024T: +0.0% over 1 combination(s)")
+}
+
+func TestDiffPerThreadGeomeanSingleP(t *testing.T) {
+	// Old single-P reports get no per-P breakdown — it would duplicate
+	// the regime summary.
+	oldPath := writeFixture(t, "old.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+		{Name: "central", Threads: 4, OverheadNs: 2000, Episodes: 1000},
+	})
+	newPath := writeFixture(t, "new.json", []epcc.Result{
+		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},
+		{Name: "central", Threads: 4, OverheadNs: 2000, Episodes: 1000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "geomean 4T:") {
+		t.Fatalf("per-P breakdown printed for a single-P report:\n%s", sb.String())
+	}
+}
+
 func TestDiffWaitPolicyMismatchNoted(t *testing.T) {
 	oldPath := writeFixtureProcs(t, "old.json", 4, "spinyield", []epcc.Result{
 		{Name: "mcs", Threads: 4, OverheadNs: 1000, Episodes: 1000},

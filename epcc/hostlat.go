@@ -1,11 +1,6 @@
 package epcc
 
-import (
-	"fmt"
-	"runtime"
-	"sync/atomic"
-	"time"
-)
+import "armbarrier/hostlat"
 
 // This file provides the real-hardware analogue of the paper's
 // Section III-A micro-benchmark: two threads bouncing a cacheline to
@@ -13,70 +8,23 @@ import (
 // to cores, so the result is the *average* cross-core hop on whatever
 // pair of cores the scheduler picks — still useful for calibrating a
 // topology.Machine for the host.
-
-// paddedAtomic keeps the ping-pong flags on separate cachelines.
-type paddedAtomic struct {
-	v atomic.Uint64
-	_ [120]byte
-}
+//
+// The implementation lives in the leaf package hostlat (shared with
+// the barrier constructors, which cannot import epcc without a cycle);
+// these wrappers keep the historical epcc API. Callers that construct
+// barriers repeatedly should prefer hostlat.Cached, which memoizes one
+// probe per process.
 
 // HostPingPong measures the average one-way cache-to-cache latency
 // between two goroutines in nanoseconds, using `iters` round trips
 // (default 100000 when iters <= 0). It needs GOMAXPROCS >= 2 to mean
 // anything; with a single processor it returns an error.
 func HostPingPong(iters int) (float64, error) {
-	if runtime.GOMAXPROCS(0) < 2 {
-		return 0, fmt.Errorf("epcc: HostPingPong needs GOMAXPROCS >= 2")
-	}
-	if iters <= 0 {
-		iters = 100000
-	}
-	var ping, pong paddedAtomic
-	done := make(chan struct{})
-	// Spin with an occasional yield so a descheduled partner (or an
-	// oversubscribed host) cannot hang the measurement; on a quiet
-	// multi-core machine the yields never trigger inside a hop.
-	spin := func(f *atomic.Uint64, want uint64) {
-		for n := 1; f.Load() != want; n++ {
-			if n%4096 == 0 {
-				runtime.Gosched()
-			}
-		}
-	}
-	go func() {
-		defer close(done)
-		for i := uint64(1); i <= uint64(iters); i++ {
-			spin(&ping.v, i)
-			pong.v.Store(i)
-		}
-	}()
-	start := time.Now()
-	for i := uint64(1); i <= uint64(iters); i++ {
-		ping.v.Store(i)
-		spin(&pong.v, i)
-	}
-	elapsed := time.Since(start)
-	<-done
-	// One iteration is two hops (ping there, pong back).
-	return float64(elapsed.Nanoseconds()) / float64(iters) / 2, nil
+	return hostlat.PingPong(iters)
 }
 
 // HostLocalAccess estimates the latency of an L1-resident atomic load
 // in nanoseconds — the ε of the paper's model, measured on the host.
 func HostLocalAccess(iters int) float64 {
-	if iters <= 0 {
-		iters = 1 << 20
-	}
-	var x paddedAtomic
-	x.v.Store(1)
-	var sink uint64
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		sink += x.v.Load()
-	}
-	elapsed := time.Since(start)
-	if sink == 0 { // defeat dead-code elimination
-		panic("unreachable")
-	}
-	return float64(elapsed.Nanoseconds()) / float64(iters)
+	return hostlat.LocalAccess(iters)
 }

@@ -1,0 +1,122 @@
+// Package hostlat measures the host's memory-latency layers: the
+// cross-core cacheline hop L and the local (L1-resident) access ε of
+// the paper's cost model, obtained the way the paper measured them by
+// hand — a two-thread ping-pong (Section III-A) and a hot atomic-load
+// loop. It is a leaf package so both the measurement harness (epcc)
+// and the barrier constructors (barrier.Hierarchical's group-size
+// auto-derivation) can share one probe without an import cycle.
+//
+// Probing costs milliseconds, and constructors may run in tight loops
+// (tests build hundreds of barriers), so Cached memoizes the first
+// probe for the life of the process; PingPong and LocalAccess remain
+// available for callers that want a fresh measurement.
+package hostlat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// paddedAtomic keeps the ping-pong flags on separate cachelines.
+type paddedAtomic struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// PingPong measures the average one-way cache-to-cache latency between
+// two goroutines in nanoseconds, using `iters` round trips (default
+// 100000 when iters <= 0). It needs GOMAXPROCS >= 2 to mean anything;
+// with a single processor it returns an error.
+func PingPong(iters int) (float64, error) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return 0, fmt.Errorf("hostlat: PingPong needs GOMAXPROCS >= 2")
+	}
+	if iters <= 0 {
+		iters = 100000
+	}
+	var ping, pong paddedAtomic
+	done := make(chan struct{})
+	// Spin with an occasional yield so a descheduled partner (or an
+	// oversubscribed host) cannot hang the measurement; on a quiet
+	// multi-core machine the yields never trigger inside a hop.
+	spin := func(f *atomic.Uint64, want uint64) {
+		for n := 1; f.Load() != want; n++ {
+			if n%4096 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= uint64(iters); i++ {
+			spin(&ping.v, i)
+			pong.v.Store(i)
+		}
+	}()
+	start := time.Now()
+	for i := uint64(1); i <= uint64(iters); i++ {
+		ping.v.Store(i)
+		spin(&pong.v, i)
+	}
+	elapsed := time.Since(start)
+	<-done
+	// One iteration is two hops (ping there, pong back).
+	return float64(elapsed.Nanoseconds()) / float64(iters) / 2, nil
+}
+
+// LocalAccess estimates the latency of an L1-resident atomic load in
+// nanoseconds — the ε of the paper's model, measured on the host.
+func LocalAccess(iters int) float64 {
+	if iters <= 0 {
+		iters = 1 << 20
+	}
+	var x paddedAtomic
+	x.v.Store(1)
+	var sink uint64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sink += x.v.Load()
+	}
+	elapsed := time.Since(start)
+	if sink == 0 { // defeat dead-code elimination
+		panic("unreachable")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+// Latencies is one cached probe of the host's latency layers.
+type Latencies struct {
+	// RemoteNs is the measured cross-core one-way hop L, 0 when the
+	// host could not run the ping-pong (see Err).
+	RemoteNs float64
+	// LocalNs is the measured L1-resident atomic load ε.
+	LocalNs float64
+	// Err is non-nil when the remote probe could not run (GOMAXPROCS
+	// < 2); LocalNs is still valid then.
+	Err error
+}
+
+var (
+	probeOnce   sync.Once
+	probeResult Latencies
+)
+
+// cachedIters keeps the one-time probe fast: ~20k round trips resolve
+// the hop latency within a few percent and finish in single-digit
+// milliseconds even on slow hosts.
+const cachedIters = 20000
+
+// Cached runs both microbenchmarks once per process and memoizes the
+// result, so constructors that self-derive a topology (repeated
+// barrier.Hierarchical constructions, test suites) pay for the probe
+// exactly once.
+func Cached() Latencies {
+	probeOnce.Do(func() {
+		probeResult.LocalNs = LocalAccess(1 << 18)
+		probeResult.RemoteNs, probeResult.Err = PingPong(cachedIters)
+	})
+	return probeResult
+}

@@ -1,0 +1,41 @@
+package hostlat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestLocalAccessPlausible(t *testing.T) {
+	eps := LocalAccess(1 << 18)
+	if eps <= 0 || eps > 1000 {
+		t.Fatalf("local access %.2f ns implausible", eps)
+	}
+}
+
+func TestPingPongNeedsTwoProcs(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if _, err := PingPong(100); err == nil {
+		t.Fatal("PingPong with one processor should error, not hang")
+	}
+}
+
+// TestCachedMemoizes pins the satellite fix: repeated constructions
+// must not re-run the microbenchmark, so two Cached calls return the
+// identical result (and the second returns immediately).
+func TestCachedMemoizes(t *testing.T) {
+	a := Cached()
+	b := Cached()
+	if a != b {
+		t.Fatalf("cached probe flapped: %+v vs %+v", a, b)
+	}
+	if a.LocalNs <= 0 || a.LocalNs > 1000 {
+		t.Fatalf("cached local access %.2f ns implausible", a.LocalNs)
+	}
+	if a.Err == nil && (a.RemoteNs <= 0 || a.RemoteNs > 1e6) {
+		t.Fatalf("cached hop %.1f ns implausible", a.RemoteNs)
+	}
+	if a.Err != nil && runtime.GOMAXPROCS(0) >= 2 {
+		t.Fatalf("probe errored on a multi-proc host: %v", a.Err)
+	}
+}

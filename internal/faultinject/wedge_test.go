@@ -38,6 +38,11 @@ func algorithms() map[string]func(p int, opts ...barrier.Option) barrier.Barrier
 		"ndis2": func(p int, o ...barrier.Option) barrier.Barrier {
 			return barrier.NewNWayDissemination(p, 2, o...)
 		},
+		// Group size 2 at the matrix's p=4 puts the straggler inside a
+		// two-member group line with a live representative stage above it.
+		"hier": func(p int, o ...barrier.Option) barrier.Barrier {
+			return barrier.NewHierarchical(p, barrier.HierarchicalConfig{GroupSize: 2}, o...)
+		},
 	}
 }
 

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"fmt"
+
+	"armbarrier/topology"
+)
+
+// Hierarchical (two-level) barrier cost terms: P participants are
+// split into groups of g that arrive on one exclusively-owned group
+// cacheline each (the count.c idiom — an atomic fetch-and-add ladder),
+// the G = ceil(P/g) group representatives synchronize through an f-way
+// arrival tree (Eq. 1), the release crosses the representatives via a
+// global flag (Eq. 3 at G — the representative identity is elected
+// dynamically each episode, which rules out a static wake-up tree,
+// exactly as in DTOUR), and each representative broadcasts the release
+// back down through its group line (Eq. 3 applied inside one group).
+// The two wake stages together form the depth-2 tree that Eq. 4 would
+// otherwise provide: its per-level (α+1)·L terms appear here as the
+// G-wide and g-wide Eq. 3 evaluations. This is the decomposition the
+// 1024-core group-counter barriers use (Bertuletti et al.,
+// arXiv:2307.10248) expressed in the paper's R_L/R_R/W_L/W_R terms.
+
+// GroupLadderCost prices g threads fetch-and-adding into one shared
+// group line: each RMW after the first must pull the line from the
+// previous owner's cache — a remote write W_R = (1+α)·L — and the RMWs
+// serialize on the line, so the ladder costs (g−1)·(1+α)·L. Groups
+// proceed concurrently, so a barrier pays this once, not per group.
+func GroupLadderCost(g int, L, alpha float64) float64 {
+	if g <= 1 {
+		return 0
+	}
+	return float64(g-1) * (1 + alpha) * L
+}
+
+// GroupWakeupCost prices the wake-down through one group line: the
+// representative's sense store invalidates the g−1 members' copies and
+// each member pays a remote read plus the read-contention coefficient
+// — Equation 3 evaluated at the group size.
+func GroupWakeupCost(g int, L, alpha, c float64) float64 {
+	return GlobalWakeupCost(g, L, alpha, c)
+}
+
+// HierGroups returns G = ceil(P/g), the number of group lines (and
+// representatives) a two-level barrier over P participants uses.
+func HierGroups(P, g int) int {
+	if g < 1 {
+		panic(fmt.Sprintf("model: HierGroups group size %d < 1", g))
+	}
+	if P < 1 {
+		return 0
+	}
+	return (P + g - 1) / g
+}
+
+// PredictHierarchicalNsRaw prices a two-level barrier from raw model
+// coefficients: the group FAA ladder, the Eq. 1 arrival tree over the
+// G representatives with fan-in f, the Eq. 3 release across the
+// representatives, and the Eq. 3 wake-down inside a group. A single
+// latency L prices every layer — the raw form is for hosts whose
+// layers were probed, not specified (see the topology.Machine wrapper
+// PredictHierarchicalNs for per-layer latencies).
+func PredictHierarchicalNsRaw(P, g, f int, L, alpha, c float64) float64 {
+	if P <= 1 {
+		return 0
+	}
+	if g > P {
+		g = P
+	}
+	G := HierGroups(P, g)
+	cost := GroupLadderCost(g, L, alpha)
+	if G > 1 {
+		cost += ArrivalCost(G, f, L, alpha)
+		cost += GlobalWakeupCost(G, L, alpha, c)
+	}
+	cost += GroupWakeupCost(g, L, alpha, c)
+	return cost
+}
+
+// PredictHierarchicalNs prices a two-level barrier on a described
+// machine: the group level communicates across the innermost remote
+// layer (a group is meant to sit inside one core cluster), the
+// representative level across the outermost, mirroring how
+// PredictBarrierNs prices the flat optimized barrier conservatively at
+// the worst layer.
+func PredictHierarchicalNs(m *topology.Machine, P, g int) float64 {
+	if P <= 1 {
+		return 0
+	}
+	if g > P {
+		g = P
+	}
+	inner := m.LayerLatency(0)
+	outer := m.LayerLatency(topology.Layer(len(m.Latency) - 1))
+	f := RecommendedFanIn(m)
+	G := HierGroups(P, g)
+	cost := GroupLadderCost(g, inner, m.Alpha)
+	if G > 1 {
+		cost += ArrivalCost(G, f, outer, m.Alpha)
+		cost += GlobalWakeupCost(G, outer, m.Alpha, m.ReadContention)
+	}
+	cost += GroupWakeupCost(g, inner, m.Alpha, m.ReadContention)
+	return cost
+}
+
+// HierGroupCandidates returns the group sizes an auto-derivation
+// searches: powers of two from 2 up to P (P itself included when it is
+// in range, degenerating to a single group — the flat central shape).
+func HierGroupCandidates(P int) []int {
+	var out []int
+	for g := 2; g < P; g *= 2 {
+		out = append(out, g)
+	}
+	if P >= 2 {
+		out = append(out, P)
+	}
+	return out
+}
+
+// BestHierGroupSize returns the candidate group size minimizing
+// PredictHierarchicalNsRaw for P participants, fan-in f and the given
+// coefficients. A nil cands searches HierGroupCandidates(P). Ties go
+// to the smaller group (shorter FAA ladder).
+func BestHierGroupSize(P, f int, L, alpha, c float64, cands []int) int {
+	if P <= 1 {
+		return 1
+	}
+	if cands == nil {
+		cands = HierGroupCandidates(P)
+	}
+	best, bestCost := 0, 0.0
+	for _, g := range cands {
+		if g < 1 || g > P {
+			continue
+		}
+		cost := PredictHierarchicalNsRaw(P, g, f, L, alpha, c)
+		if best == 0 || cost < bestCost {
+			best, bestCost = g, cost
+		}
+	}
+	if best == 0 {
+		return P
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+
+	"armbarrier/topology"
+)
+
+func TestGroupLadderCost(t *testing.T) {
+	if c := GroupLadderCost(1, 100, 0.3); c != 0 {
+		t.Fatalf("single-member ladder costs %g, want 0", c)
+	}
+	// (g-1)·(1+α)·L, linear in the group size.
+	if c := GroupLadderCost(5, 100, 0.3); c != 4*1.3*100 {
+		t.Fatalf("ladder cost %g, want %g", c, 4*1.3*100.0)
+	}
+	if GroupLadderCost(8, 100, 0.3) <= GroupLadderCost(4, 100, 0.3) {
+		t.Fatal("ladder cost not monotonic in group size")
+	}
+}
+
+func TestHierGroups(t *testing.T) {
+	cases := []struct{ P, g, want int }{
+		{16, 4, 4}, {17, 4, 5}, {4, 8, 1}, {1, 3, 1}, {0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := HierGroups(c.P, c.g); got != c.want {
+			t.Errorf("HierGroups(%d,%d) = %d, want %d", c.P, c.g, got, c.want)
+		}
+	}
+}
+
+func TestHierGroupCandidates(t *testing.T) {
+	got := HierGroupCandidates(64)
+	want := []int{2, 4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("candidates %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("candidates %v, want %v", got, want)
+		}
+	}
+	if c := HierGroupCandidates(1); c != nil {
+		t.Fatalf("P=1 candidates %v, want none", c)
+	}
+}
+
+// TestPredictHierarchicalDecomposition pins the term structure: one
+// group degenerates to ladder + group wake (no representative stage),
+// and the two-level cost at a sensible group size undercuts both
+// extremes (all-singleton groups and one flat group) once P is large —
+// the paper's layering argument in one inequality.
+func TestPredictHierarchicalDecomposition(t *testing.T) {
+	const L, alpha, c = 100, 0.3, 2
+	P := 64
+	flat := PredictHierarchicalNsRaw(P, P, 4, L, alpha, c)
+	wantFlat := GroupLadderCost(P, L, alpha) + GroupWakeupCost(P, L, alpha, c)
+	if flat != wantFlat {
+		t.Fatalf("single group cost %g, want ladder+wake %g", flat, wantFlat)
+	}
+	singletons := PredictHierarchicalNsRaw(P, 1, 4, L, alpha, c)
+	mid := PredictHierarchicalNsRaw(P, 8, 4, L, alpha, c)
+	if mid >= flat || mid >= singletons {
+		t.Fatalf("two-level cost %g not below flat %g and singleton %g", mid, flat, singletons)
+	}
+	if PredictHierarchicalNsRaw(1, 4, 4, L, alpha, c) != 0 {
+		t.Fatal("P=1 should cost 0")
+	}
+}
+
+func TestBestHierGroupSize(t *testing.T) {
+	const L, alpha, c = 100, 0.3, 2
+	best := BestHierGroupSize(1024, 4, L, alpha, c, nil)
+	in := false
+	for _, g := range HierGroupCandidates(1024) {
+		if g == best {
+			in = true
+		}
+	}
+	if !in {
+		t.Fatalf("best group %d not among candidates", best)
+	}
+	// The optimum must beat the flat extremes it was searched against.
+	bestCost := PredictHierarchicalNsRaw(1024, best, 4, L, alpha, c)
+	if bestCost > PredictHierarchicalNsRaw(1024, 1024, 4, L, alpha, c) ||
+		bestCost > PredictHierarchicalNsRaw(1024, 2, 4, L, alpha, c) {
+		t.Fatalf("best group %d (%g ns) beaten by an extreme", best, bestCost)
+	}
+	if BestHierGroupSize(1, 4, L, alpha, c, nil) != 1 {
+		t.Fatal("P=1 best group, want 1")
+	}
+	if got := BestHierGroupSize(16, 4, L, alpha, c, []int{3}); got != 3 {
+		t.Fatalf("explicit candidate list ignored: got %d", got)
+	}
+}
+
+func TestPredictHierarchicalNsMachine(t *testing.T) {
+	m := topology.Kunpeng920()
+	for _, g := range []int{2, 4, 32} {
+		if cost := PredictHierarchicalNs(m, 128, g); cost <= 0 {
+			t.Fatalf("machine-priced cost %g for g=%d, want > 0", cost, g)
+		}
+	}
+	if PredictHierarchicalNs(m, 1, 4) != 0 {
+		t.Fatal("P=1 machine cost, want 0")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -344,5 +345,115 @@ func TestDriftLocalizesDelayedParticipant(t *testing.T) {
 	}
 	if got := board.Scoreboard().AlertsTotal; got != 1 {
 		t.Errorf("alerts_total = %d, want exactly 1", got)
+	}
+}
+
+// TestDriftLocalizesHierGroupStraggler is the hierarchical wedge
+// acceptance: a fault-injected straggler inside one group of a
+// two-level barrier must be (a) named by the watchdog — it is the one
+// missing participant while its peers wait — and (b) localized by the
+// drift board to the group-arrival phase: the late entry is charged to
+// arrival level 0 (the group line), the representative-tree level
+// stays fast, and the arrival-watched board raises exactly one
+// divergence alert.
+//
+// Wrapping order matters twice. The injector wraps the watchdog so the
+// watchdog never sees the faulted arrival until the delay has elapsed
+// and genuinely has to report the absence; the instrumentation wraps
+// the injector so the delay lands between the Wait-entry stamp and the
+// straggler's first mark — its own group-arrival step, where a slow
+// group member really spends the time.
+func TestDriftLocalizesHierGroupStraggler(t *testing.T) {
+	const (
+		p         = 8
+		straggler = 5 // inside the second group of {0-3},{4-7}
+		rounds    = 10
+		delay     = 20 * time.Millisecond
+	)
+	hier := barrier.NewHierarchical(p, barrier.HierarchicalConfig{GroupSize: 4, FanIn: 2})
+	var mu sync.Mutex
+	var stalls []barrier.Stall
+	wd := barrier.NewWatchdog(hier, barrier.WatchdogConfig{
+		Deadline: 5 * time.Millisecond,
+		OnStall: func(s barrier.Stall) {
+			mu.Lock()
+			stalls = append(stalls, s)
+			mu.Unlock()
+		},
+	})
+	faults := make([]faultinject.Fault, rounds)
+	for r := range faults {
+		faults[r] = faultinject.Fault{ID: straggler, Round: uint64(r), Kind: faultinject.Delay, Delay: delay}
+	}
+	inj := faultinject.Wrap(wd, faults...)
+	in := Instrument(inj, Options{SampleEvery: 1, Phases: true})
+	board, err := NewDriftBoard(in, DriftConfig{Phases: []barrier.Phase{barrier.PhaseArrival}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Start()
+	barrier.Run(in, func(id int) {
+		for r := 0; r < rounds; r++ {
+			in.Wait(id)
+		}
+	})
+	wd.Stop()
+
+	// (a) The watchdog names the straggler: every stall of this run has
+	// participant 5 missing — the rest of its group arrived and waited.
+	mu.Lock()
+	got := append([]barrier.Stall(nil), stalls...)
+	mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("watchdog saw no stall across the faulted rounds")
+	}
+	for _, s := range got {
+		named := false
+		for _, id := range s.Missing {
+			if id == straggler {
+				named = true
+			}
+		}
+		if !named {
+			t.Fatalf("stall does not name participant %d as missing: %+v", straggler, s)
+		}
+	}
+
+	// (b) Localization: the delay is charged to the group-arrival level,
+	// not the representative tree.
+	s := in.Snapshot()
+	if s.Phases == nil {
+		t.Fatal("no phase snapshot")
+	}
+	l0 := s.Phases.Level("arrival", 0)
+	l1 := s.Phases.Level("arrival", 1)
+	if l0 == nil || l1 == nil {
+		t.Fatal("missing arrival levels")
+	}
+	if got, want := float64(l0.MaxNs), float64(delay.Nanoseconds())/2; got < want {
+		t.Errorf("group-arrival max %.0f ns does not carry the %v delay", got, delay)
+	}
+	if l1.MeanNs() > l0.MeanNs()/8 {
+		t.Errorf("representative-tree mean %.0f ns not clearly below group level's %.0f ns — delay not localized",
+			l1.MeanNs(), l0.MeanNs())
+	}
+
+	// The arrival-watched board fires exactly one alert naming the phase,
+	// and its worst-ratio arrival row is the group level.
+	fired := board.Observe()
+	if len(fired) != 1 {
+		t.Fatalf("drift board raised %d alerts, want exactly 1 (got %+v)", len(fired), fired)
+	}
+	if fired[0].Kind != AlertModelDrift || !strings.Contains(fired[0].Message, "arrival") {
+		t.Errorf("alert does not localize to the arrival phase: %+v", fired[0])
+	}
+	worst, worstLevel := math.Inf(-1), -1
+	for _, row := range board.Scoreboard().Levels {
+		if row.Phase == "arrival" && !math.IsNaN(row.Ratio) && row.Ratio > worst {
+			worst, worstLevel = row.Ratio, row.Level
+		}
+	}
+	if worstLevel != 0 {
+		t.Errorf("worst arrival drift at level %d, want the group level 0", worstLevel)
 	}
 }
