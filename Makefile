@@ -9,7 +9,7 @@ GO ?= go
 TEST_TIMEOUT ?= 180s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke hier-smoke
+.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke hier-smoke fabric-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,10 @@ check: build vet fmt race
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
 		-run 'TestHier|TestCachedMemoizes|TestSearchHierGroupSizes|TestMeasureHierGroupSizes' \
 		./barrier/ ./model/ ./hostlat/ ./tune/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		./fabric/ ./internal/pad/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestFabric|TestDiffFabric' ./internal/faultinject/ ./cmd/benchdiff/ ./tune/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -86,6 +90,18 @@ hier-smoke:
 		./barrier/ ./model/ ./tune/
 	$(GO) run ./cmd/barrierbench -algos hier,dtour -plist 1024 \
 		-episodes 50 -repeats 1 -wait spinpark
+
+# Barrier fabric smoke: one quick joins/sec sweep through the CLI in
+# both engines (async CAS-arrival vs goroutine-per-waiter) so the
+# speedup line prints, then one -once pass of the fabric server
+# example, which drives a burst of rounds and dumps the /debug/fabric
+# snapshot. Exercises group registry, async arrivals, batched wake-ups
+# and the sampled rollups end to end without the cost of the full
+# acceptance sweep.
+fabric-smoke:
+	$(GO) run ./cmd/barrierbench -fabric -fabricgroups 16 -fabricp 4 \
+		-fabricepisodes 20
+	$(GO) run ./examples/fabricserver -once | tail -n 20
 
 # Phase-resolved telemetry smoke: one barrierbench run with the phase
 # probes armed (per-level tables plus the model-drift scoreboard on

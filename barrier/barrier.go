@@ -37,6 +37,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"armbarrier/internal/pad"
 )
 
 // Barrier synchronizes a fixed group of participants. Implementations
@@ -59,7 +61,9 @@ type Barrier interface {
 // 128-byte L3 granularity. Exported so callers placing their own
 // per-participant state (partial sums, counters) next to a barrier can
 // reuse the same discipline instead of hand-rolling `_ [120]byte`.
-const CacheLineSize = 128
+// internal/pad holds the shared constant and the generic padded-slot
+// helper the newer packages use.
+const CacheLineSize = pad.CacheLine
 
 // cacheLine is the internal alias the padded types use.
 const cacheLine = CacheLineSize

@@ -32,6 +32,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+	"unsafe"
+
+	"armbarrier/internal/pad"
 )
 
 // ErrWaitTimeout matches any *TimeoutError via errors.Is.
@@ -92,10 +95,11 @@ type timeoutSignal struct{ id int }
 
 // deadlineSlot holds one participant's armed deadline (monotonic ns;
 // 0 = disarmed). Only the owning participant reads or writes it, so no
-// atomics are needed; padding keeps neighbours off the line.
+// atomics are needed; the shared internal/pad trailing-pad formula
+// keeps neighbours off the line.
 type deadlineSlot struct {
 	at int64
-	_  [cacheLine - 8]byte
+	_  [pad.CacheLine - unsafe.Sizeof(int64(0))%pad.CacheLine]byte
 }
 
 // runDeadline is the shared WaitDeadline implementation: arm the

@@ -57,6 +57,22 @@ func TestHierGroupLinePadded(t *testing.T) {
 	}
 }
 
+func TestSharedPadSlotsAreLineMultiples(t *testing.T) {
+	// park, deadline and probe slots all use the internal/pad
+	// trailing-pad formula; each must stay an exact line multiple so a
+	// slice of them keeps the one-participant-one-line property.
+	for name, size := range map[string]uintptr{
+		"parkSlot":     unsafe.Sizeof(parkSlot{}),
+		"adaptSlot":    unsafe.Sizeof(adaptSlot{}),
+		"deadlineSlot": unsafe.Sizeof(deadlineSlot{}),
+		"probeSlot":    unsafe.Sizeof(probeSlot{}),
+	} {
+		if size%cacheLine != 0 {
+			t.Errorf("%s is %d bytes, want a multiple of %d", name, size, cacheLine)
+		}
+	}
+}
+
 func TestDisseminationLocalPadded(t *testing.T) {
 	if got := unsafe.Sizeof(disseminationLocal{}); got < cacheLine {
 		t.Fatalf("disseminationLocal is %d bytes, want >= %d", got, cacheLine)

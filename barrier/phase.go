@@ -17,6 +17,12 @@ package barrier
 // the probe only for sampled rounds and disarm it after, so the steady
 // state stays at the bare-Wait cost.
 
+import (
+	"unsafe"
+
+	"armbarrier/internal/pad"
+)
+
 // Phase names the two halves of a barrier episode, matching the
 // paper's vocabulary.
 type Phase uint8
@@ -74,11 +80,12 @@ type PhaseProber interface {
 
 // probeSlot is one participant's probe pointer on its own cacheline,
 // mirroring deadlineSlot: only the owning participant's goroutine
-// reads or writes it, so no atomics are needed, and the padding keeps
-// a neighbour's arm/disarm from bouncing this line.
+// reads or writes it, so no atomics are needed, and the shared
+// internal/pad trailing-pad formula keeps a neighbour's arm/disarm
+// from bouncing this line.
 type probeSlot struct {
 	pr PhaseProbe
-	_  [cacheLine - 16]byte
+	_  [pad.CacheLine - unsafe.Sizeof(PhaseProbe(nil))%pad.CacheLine]byte
 }
 
 // SetPhaseProbe implements PhaseProber for every barrier embedding

@@ -34,6 +34,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
+
+	"armbarrier/internal/pad"
 )
 
 // waitKind enumerates the wait disciplines. The zero value is the
@@ -129,10 +132,9 @@ const parkAfterYields = 2
 // before re-deciding its discipline.
 const adaptWindow = 64
 
-// parkSlot is one participant's parking place: a one-token semaphore
-// plus the parked bit the release side inspects. Padded so
-// neighbouring participants' slots never share a line.
-type parkSlot struct {
+// parkState is one participant's parking place: a one-token semaphore
+// plus the parked bit the release side inspects.
+type parkState struct {
 	// parks counts times this participant parked; wakes counts tokens a
 	// releaser handed it. parks is owner-written, wakes waker-written;
 	// both are atomics so concurrent snapshots stay race-free.
@@ -141,16 +143,28 @@ type parkSlot struct {
 	ch    chan struct{}
 	// state is 1 while the owner is parked or committing to park.
 	state atomic.Uint32
-	_     [cacheLine - 28]byte
 }
 
-// adaptSlot is one participant's adaptive-policy accounting. Only the
+// parkSlot pads parkState to a full line multiple (the shared
+// internal/pad trailing-pad formula) so neighbouring participants'
+// slots never share a line.
+type parkSlot struct {
+	parkState
+	_ [pad.CacheLine - unsafe.Sizeof(parkState{})%pad.CacheLine]byte
+}
+
+// adaptState is one participant's adaptive-policy accounting. Only the
 // owning participant touches it, so the fields need no atomics.
-type adaptSlot struct {
+type adaptState struct {
 	waits  uint64
 	yields uint64
 	park   bool
-	_      [cacheLine - 17]byte
+}
+
+// adaptSlot pads adaptState so neighbours never share a line.
+type adaptSlot struct {
+	adaptState
+	_ [pad.CacheLine - unsafe.Sizeof(adaptState{})%pad.CacheLine]byte
 }
 
 // waitState is the embeddable wait-site implementation shared by every

@@ -33,6 +33,7 @@ import (
 
 	"armbarrier/barrier"
 	"armbarrier/epcc"
+	"armbarrier/fabric"
 	"armbarrier/internal/faultinject"
 	"armbarrier/internal/table"
 	"armbarrier/obs"
@@ -111,10 +112,39 @@ func run(args []string, out io.Writer) error {
 		tracegroup  = fs.Int("tracegroup", 0, "participants per topology group in the straggler report (0 = ungrouped)")
 		faultFlag   = fs.String("fault", "", "fault-injection specs id@round:kind[:duration], comma-separated (kinds: delay, stall, drop, panic); runs the robustness harness instead of the benchmark")
 		faultDL     = fs.Duration("faultdeadline", 50*time.Millisecond, "watchdog stall deadline for -fault runs")
+		fabricFlag  = fs.Bool("fabric", false, "benchmark the multi-group barrier fabric (joins/sec) instead of bare barriers")
+		fabricG     = fs.String("fabricgroups", "16,256,1024", "comma-separated live group counts for -fabric")
+		fabricP     = fs.String("fabricp", "4", "comma-separated participants per group for -fabric")
+		fabricMode  = fs.String("fabricmode", "both", "fabric engines to sweep: async, parked, or both")
+		fabricEp    = fs.Int("fabricepisodes", 50, "joins per generator per -fabric point")
+		fabricRate  = fs.String("fabricrate", "", "comma-separated per-generator arrival rates/sec for -fabric (default closed loop)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *fabricFlag {
+		modes, err := parseFabricModes(*fabricMode)
+		if err != nil {
+			return err
+		}
+		groupsList, err := parseThreads(*fabricG)
+		if err != nil {
+			return err
+		}
+		pList, err := parseThreads(*fabricP)
+		if err != nil {
+			return err
+		}
+		rates, err := parseRates(*fabricRate)
+		if err != nil {
+			return err
+		}
+		if *fabricEp < 1 {
+			return fmt.Errorf("-fabricepisodes must be >= 1, got %d", *fabricEp)
+		}
+		return runFabric(out, modes, groupsList, pList, rates, *fabricEp, *csv, *jsonout)
+	}
+
 	tracing := *traceFlag || *traceout != ""
 	if *streamFlag && *streamWin <= 0 {
 		return fmt.Errorf("-streamwindow must be positive, got %v", *streamWin)
@@ -444,15 +474,24 @@ type benchReport struct {
 	// Drift holds one model-vs-measured scoreboard per phased
 	// measurement (-phases only).
 	Drift []obs.DriftSnapshot `json:"drift,omitempty"`
+	// Fabric holds the -fabric sweep's throughput points (mode
+	// "fabric" reports only).
+	Fabric []fabric.BenchPoint `json:"fabric,omitempty"`
 }
 
-// writeJSON writes the report to dest; if dest is an existing
-// directory, a BENCH_<UTC timestamp>.json file is created inside it.
-// Returns the path actually written.
-func writeJSON(dest string, mode string, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot, drifts []obs.DriftSnapshot) (string, error) {
+// resolveJSONDest turns a -jsonout value into a concrete file path: an
+// existing directory gets a BENCH_<UTC timestamp>.json inside it.
+func resolveJSONDest(dest string) string {
 	if fi, err := os.Stat(dest); err == nil && fi.IsDir() {
-		dest = filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
+		return filepath.Join(dest, time.Now().UTC().Format("BENCH_20060102T150405Z.json"))
 	}
+	return dest
+}
+
+// writeJSON writes the report to dest (see resolveJSONDest). Returns
+// the path actually written.
+func writeJSON(dest string, mode string, episodes, repeats int, wait string, results []epcc.Result, snaps []obs.Snapshot, drifts []obs.DriftSnapshot) (string, error) {
+	dest = resolveJSONDest(dest)
 	rep := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),

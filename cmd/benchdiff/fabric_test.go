@@ -1,0 +1,107 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"armbarrier/fabric"
+)
+
+// writeFabricFixture writes a mode-"fabric" report via the same JSON
+// the real tool emits (marshalling fabric.BenchPoint directly keeps the
+// fixture honest about field names).
+func writeFabricFixture(t *testing.T, name string, points []fabric.BenchPoint) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"timestamp":"2026-08-08T00:00:00Z","mode":"fabric","gomaxprocs":4,"fabric":[`)
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"mode":"` + p.Mode + `","groups":` + strconv.Itoa(p.Groups) +
+			`,"participants":` + strconv.Itoa(p.Participants) +
+			`,"episodes":50,"joins":1000,"elapsed_ns":1000000,"joins_per_sec":` +
+			strconv.FormatFloat(p.JoinsPerSec, 'f', 1, 64) + `,"join_p50_ns":100,"join_p99_ns":500}`)
+	}
+	sb.WriteString(`]}`)
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffFabricThroughputRegression(t *testing.T) {
+	oldPath := writeFabricFixture(t, "old.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 1024, Participants: 4, JoinsPerSec: 1000000},
+		{Mode: "parked", Groups: 1024, Participants: 4, JoinsPerSec: 400000},
+	})
+	// Async loses 50% (regression); parked gains.
+	newPath := writeFabricFixture(t, "new.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 1024, Participants: 4, JoinsPerSec: 500000},
+		{Mode: "parked", Groups: 1024, Participants: 4, JoinsPerSec: 500000},
+	})
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("want errRegression, got %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	mustContain(t, out, "REGRESSION")
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("want exactly one flagged row:\n%s", out)
+	}
+	mustContain(t, out, "geomean fabric async joins/sec: -50.0% over 1 shape(s)")
+	mustContain(t, out, "geomean fabric parked joins/sec: +25.0% over 1 shape(s)")
+}
+
+func TestDiffFabricThroughputGainPasses(t *testing.T) {
+	oldPath := writeFabricFixture(t, "old.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 16, Participants: 4, JoinsPerSec: 100000},
+	})
+	newPath := writeFabricFixture(t, "new.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 16, Participants: 4, JoinsPerSec: 300000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("throughput gain must pass: %v\n%s", err, sb.String())
+	}
+	mustContain(t, sb.String(), "no regressions")
+}
+
+func TestDiffFabricOnlyReportLoads(t *testing.T) {
+	// A fabric-only report has no barrier results; load must accept it
+	// and the barrier table must not print.
+	oldPath := writeFabricFixture(t, "old.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 16, Participants: 4, JoinsPerSec: 100000},
+	})
+	newPath := writeFabricFixture(t, "new.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 16, Participants: 4, JoinsPerSec: 100000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "algorithm") {
+		t.Errorf("barrier table printed for a fabric-only report:\n%s", sb.String())
+	}
+}
+
+func TestDiffFabricDisjointShapes(t *testing.T) {
+	oldPath := writeFabricFixture(t, "old.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 16, Participants: 4, JoinsPerSec: 100000},
+	})
+	newPath := writeFabricFixture(t, "new.json", []fabric.BenchPoint{
+		{Mode: "async", Groups: 256, Participants: 4, JoinsPerSec: 100000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("disjoint fabric shapes must not fail: %v", err)
+	}
+	mustContain(t, sb.String(), "gone")
+	mustContain(t, sb.String(), "new")
+}

@@ -17,6 +17,11 @@
 // the "+ar-fused" and "+ar-2ep" name suffixes; they diff like any
 // other name, and when the new report holds both halves of a pair the
 // tool additionally prints the geomean fused-over-unfused speedup.
+//
+// Fabric sweeps from `barrierbench -fabric` diff on (engine mode,
+// groups, participants, rate). Joins/sec is a throughput, so the
+// regression direction is inverted — losing more than the threshold is
+// what fails — and the geomean summary is reported per engine mode.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"strings"
 
 	"armbarrier/epcc"
+	"armbarrier/fabric"
 	"armbarrier/obs"
 )
 
@@ -61,6 +67,11 @@ type report struct {
 	// deltas. Reports without it diff fine — the phase summary is
 	// simply omitted.
 	Telemetry []obs.Snapshot `json:"telemetry,omitempty"`
+	// Fabric holds `barrierbench -fabric` throughput points. These are
+	// higher-is-better (joins/sec), so their regression direction is
+	// inverted; a report may carry fabric points, barrier results, or
+	// both.
+	Fabric []fabric.BenchPoint `json:"fabric,omitempty"`
 }
 
 // key identifies one measured combination across the two reports.
@@ -99,6 +110,22 @@ func run(args []string, out io.Writer) error {
 			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
 	}
 
+	regressions := 0
+	if len(oldRep.Results) > 0 || len(newRep.Results) > 0 {
+		regressions += diffBarrier(out, oldRep, newRep, *threshold)
+	}
+	regressions += diffFabric(out, oldRep.Fabric, newRep.Fabric, *threshold)
+	if regressions > 0 {
+		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
+		return errRegression
+	}
+	fmt.Fprintf(out, "\nno regressions beyond %.0f%% threshold\n", *threshold*100)
+	return nil
+}
+
+// diffBarrier diffs the per-episode overhead results (lower is better)
+// and returns how many combinations regressed.
+func diffBarrier(out io.Writer, oldRep, newRep report, threshold float64) int {
 	oldBy := index(oldRep.Results)
 	newBy := index(newRep.Results)
 	keys := make([]key, 0, len(oldBy))
@@ -130,7 +157,7 @@ func run(args []string, out io.Writer) error {
 		delete(newBy, k)
 		delta := (n.OverheadNs - o.OverheadNs) / o.OverheadNs
 		mark := ""
-		if delta > *threshold {
+		if delta > threshold {
 			mark = "  REGRESSION"
 			regressions++
 		}
@@ -156,12 +183,85 @@ func run(args []string, out io.Writer) error {
 	printPerThreadDeltas(out, plogSum, pcount)
 	printPhaseDeltas(out, oldRep.Telemetry, newRep.Telemetry)
 	printFusedSpeedup(out, newRep.Results)
-	if regressions > 0 {
-		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
-		return errRegression
+	return regressions
+}
+
+// fabricKey identifies one fabric sweep shape across the two reports.
+type fabricKey struct {
+	mode          string
+	groups, parts int
+	rate          float64
+}
+
+// diffFabric diffs the fabric throughput points. Joins/sec is
+// higher-is-better — the regression direction is inverted relative to
+// the overhead diff — and the geomean summary is per engine mode, so an
+// async win cannot mask a parked collapse or vice versa. Reports
+// without fabric points print nothing.
+func diffFabric(out io.Writer, oldPts, newPts []fabric.BenchPoint, threshold float64) int {
+	if len(oldPts) == 0 && len(newPts) == 0 {
+		return 0
 	}
-	fmt.Fprintf(out, "\nno regressions beyond %.0f%% threshold\n", *threshold*100)
-	return nil
+	oldBy := map[fabricKey]fabric.BenchPoint{}
+	for _, p := range oldPts {
+		oldBy[fabricKey{p.Mode, p.Groups, p.Participants, p.RatePerSec}] = p
+	}
+	newBy := map[fabricKey]fabric.BenchPoint{}
+	for _, p := range newPts {
+		newBy[fabricKey{p.Mode, p.Groups, p.Participants, p.RatePerSec}] = p
+	}
+	keys := make([]fabricKey, 0, len(oldBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.mode != b.mode {
+			return a.mode < b.mode
+		}
+		if a.groups != b.groups {
+			return a.groups < b.groups
+		}
+		if a.parts != b.parts {
+			return a.parts < b.parts
+		}
+		return a.rate < b.rate
+	})
+	fmt.Fprintf(out, "\n%-8s %8s %6s %14s %14s %8s\n", "fabric", "groups", "P", "old joins/s", "new joins/s", "delta")
+	regressions := 0
+	modeLogSum := map[string]float64{}
+	modeCount := map[string]int{}
+	for _, k := range keys {
+		o := oldBy[k]
+		n, ok := newBy[k]
+		if !ok {
+			fmt.Fprintf(out, "%-8s %8d %6d %14.0f %14s %8s\n", k.mode, k.groups, k.parts, o.JoinsPerSec, "-", "gone")
+			continue
+		}
+		delete(newBy, k)
+		delta := (n.JoinsPerSec - o.JoinsPerSec) / o.JoinsPerSec
+		mark := ""
+		if delta < -threshold { // throughput: losing joins/sec is the regression
+			mark = "  REGRESSION"
+			regressions++
+		}
+		if o.JoinsPerSec > 0 && n.JoinsPerSec > 0 {
+			modeLogSum[k.mode] += math.Log(n.JoinsPerSec / o.JoinsPerSec)
+			modeCount[k.mode]++
+		}
+		fmt.Fprintf(out, "%-8s %8d %6d %14.0f %14.0f %+7.1f%%%s\n",
+			k.mode, k.groups, k.parts, o.JoinsPerSec, n.JoinsPerSec, delta*100, mark)
+	}
+	for k, n := range newBy {
+		fmt.Fprintf(out, "%-8s %8d %6d %14s %14.0f %8s\n", k.mode, k.groups, k.parts, "-", n.JoinsPerSec, "new")
+	}
+	for _, mode := range []string{"async", "parked"} {
+		if c := modeCount[mode]; c > 0 {
+			g := math.Exp(modeLogSum[mode] / float64(c))
+			fmt.Fprintf(out, "geomean fabric %s joins/sec: %+.1f%% over %d shape(s)\n", mode, (g-1)*100, c)
+		}
+	}
+	return regressions
 }
 
 func load(path string) (report, error) {
@@ -173,7 +273,7 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return report{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(rep.Results) == 0 {
+	if len(rep.Results) == 0 && len(rep.Fabric) == 0 {
 		return report{}, fmt.Errorf("%s: no results", path)
 	}
 	return rep, nil

@@ -1,0 +1,133 @@
+// Fabricserver: the barrier fabric behind an HTTP API — the service
+// shape the fabric package exists for. Every request is one fork-join
+// against a named group: POST /join?group=G&p=N arrives at group G
+// (created on first use with N participants) and responds when the
+// round completes, so N concurrent requests rendezvous in the server
+// the way N goroutines rendezvous at a barrier. The request handler
+// never parks a goroutine per waiter beyond its own: the arrival is
+// one CAS, the response unblocks on the fabric's batched wake-up.
+//
+//	go run ./examples/fabricserver
+//	curl -X POST 'localhost:8390/join?group=build&p=3'   (×3, concurrently)
+//
+// GET /debug/fabric returns the registry snapshot (per-group rounds,
+// sampled join quantiles, arrival skew); a background watchdog logs
+// groups whose round is stuck, naming the group rather than wedging
+// anything else. Pass -once to run a self-contained burst in-process
+// and print the snapshot instead of serving.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"armbarrier/fabric"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "localhost:8390", "listen address")
+		once  = flag.Bool("once", false, "run a local burst and print the snapshot instead of serving")
+		sweep = flag.Duration("sweep", time.Minute, "collect groups idle for this long (0 disables)")
+	)
+	flag.Parse()
+
+	f := fabric.New(fabric.Config{
+		StallDeadline: 2 * time.Second,
+		OnStall: func(s fabric.Stall) {
+			log.Printf("stall: group %q round %d has %d/%d arrivals for %v (missing %v)",
+				s.Group, s.Round, s.Arrived, s.Participants, s.Age.Round(time.Millisecond), s.Missing)
+		},
+	})
+	defer f.Close()
+	f.StartWatchdog(500 * time.Millisecond)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("group")
+		if name == "" {
+			http.Error(w, "missing ?group=", http.StatusBadRequest)
+			return
+		}
+		p, err := strconv.Atoi(r.URL.Query().Get("p"))
+		if err != nil || p < 1 {
+			http.Error(w, "missing or bad ?p= (participants)", http.StatusBadRequest)
+			return
+		}
+		g, err := f.Group(name, fabric.GroupConfig{Participants: p})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		round, err := g.Join(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		fmt.Fprintf(w, "group %s round %d complete (%d participants)\n", name, round, p)
+	})
+	mux.HandleFunc("GET /debug/fabric", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f.Snapshot(true))
+	})
+
+	if *sweep > 0 {
+		go func() {
+			for range time.Tick(*sweep) {
+				if n := f.Sweep(*sweep); n > 0 {
+					log.Printf("swept %d idle groups", n)
+				}
+			}
+		}()
+	}
+
+	if *once {
+		runBurst(f)
+		snap := f.Snapshot(true)
+		out, _ := json.MarshalIndent(snap, "", "  ")
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
+
+	log.Printf("fabricserver on http://%s  (POST /join?group=G&p=N, GET /debug/fabric)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// runBurst drives the fabric the way concurrent requests would: a few
+// named groups, each joined by its full complement for many rounds.
+func runBurst(f *fabric.Fabric) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for _, shape := range []struct {
+		name string
+		p    int
+	}{{"build", 3}, {"deploy", 5}, {"canary", 2}} {
+		g, err := f.Group(shape.name, fabric.GroupConfig{Participants: shape.p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < shape.p; i++ {
+			wg.Add(1)
+			go func(g *fabric.Group) {
+				defer wg.Done()
+				for r := 0; r < 100; r++ {
+					if _, err := g.Join(ctx); err != nil {
+						log.Printf("join %s: %v", g.Name(), err)
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,334 @@
+// Package fabric is the barrier-as-a-service layer: a sharded registry
+// of named barrier groups multiplexed over one bounded wake-up pool,
+// turning the single-team barrier library into a service that can hold
+// thousands of *independent* fork-join groups in one process.
+//
+// The paper optimizes one barrier episode; a production process
+// serving heavy traffic runs many small episodes concurrently —
+// every request a fork-join region against a named group. Two design
+// rules follow:
+//
+//   - Nothing per-group may touch shared state. Groups live in a
+//     power-of-two shard array; each shard has its own lock (taken only
+//     for create/lookup/remove, never on the arrival path) and every
+//     group's hot words sit on their own cachelines (internal/pad), so
+//     unrelated groups never contend.
+//
+//   - Nothing may park a goroutine per waiter. Group.Arrive is
+//     asynchronous: an arrival pushes a completion node onto the
+//     group's arrival stack with one CAS — the stack head doubles as
+//     the generation counter, so the P-th arrival detaches the whole
+//     round in its arrival CAS and publishes it. Wake-ups are then
+//     delivered in batches by the fabric's bounded worker pool: one
+//     pass over the round's completion list, chunked to WakeBatch so a
+//     giant group cannot stall the queue behind it. The goroutine-per-
+//     waiter alternative exists as the Parked group mode — the baseline
+//     `barrierbench -fabric` measures the async path against.
+//
+// Per-group telemetry rollups (episode rate, join-wait quantiles,
+// arrival skew) ride 1-in-K round sampling so instrumenting ten
+// thousand live groups stays inside the repository's <10% overhead
+// budget, and a fabric-level watchdog names the groups — and, for
+// identity-tracked groups, the participants — holding up a round.
+package fabric
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"time"
+
+	"armbarrier/internal/pad"
+	"armbarrier/tune"
+)
+
+// Config configures a Fabric.
+type Config struct {
+	// Shards is the number of group-table shards; rounded up to a power
+	// of two. 0 means DefaultShards.
+	Shards int
+	// Workers is the wake-up pool size; 0 means max(2, GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the completion queue; a publisher that finds it
+	// full delivers its batch inline (back-pressure instead of an
+	// unbounded queue). 0 means DefaultQueueDepth.
+	QueueDepth int
+	// WakeBatch is how many wake-ups one pool task delivers before the
+	// remainder is re-queued, bounding how long one giant group can
+	// monopolize a worker. 0 means DefaultWakeBatch.
+	WakeBatch int
+	// SampleEvery is the per-group telemetry sampling period: full
+	// timing (join wait, arrival skew) is captured on one round in
+	// SampleEvery. 0 means DefaultSampleEvery; negative disables the
+	// rollups entirely (round counts remain).
+	SampleEvery int
+	// StallDeadline is how long a round may stay incomplete after its
+	// first arrival before Check reports the group. 0 disables the
+	// watchdog.
+	StallDeadline time.Duration
+	// OnStall, if non-nil, is called once per newly stalled (group,
+	// round) from whichever goroutine ran the detecting Check.
+	OnStall func(Stall)
+	// FlatThreshold is the participant count at or below which a Parked
+	// group collapses to the flat counter barrier (barrier.Central);
+	// larger parked groups ride barrier.Hierarchical. 0 means
+	// DefaultFlatThreshold.
+	FlatThreshold int
+	// ParkedBudget bounds each parked join (barrier.WaitDeadline), so a
+	// wedged parked group errors out instead of leaking goroutines
+	// forever. 0 means unbounded.
+	ParkedBudget time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultShards        = 64
+	DefaultQueueDepth    = 4096
+	DefaultWakeBatch     = 64
+	DefaultSampleEvery   = 16
+	DefaultFlatThreshold = 64
+)
+
+// shardState is one shard of the group table. Only create, lookup,
+// remove and sweep take the lock; arrivals never do.
+type shardState struct {
+	mu     sync.RWMutex
+	groups map[string]*Group
+}
+
+// shard pads shardState so neighbouring shards' locks never share a
+// cacheline (the shared internal/pad discipline).
+type shard struct {
+	shardState
+	_ [pad.CacheLine]byte
+}
+
+// Fabric is the sharded multi-group synchronization service. Construct
+// with New; all methods are safe for concurrent use.
+type Fabric struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+	seed   maphash.Seed
+
+	queue chan wakeTask
+	// pubMu serializes publishers against Close: publishers hold the
+	// read side around their queue send, Close flips closed and closes
+	// the queue under the write side, so a send on a closed channel is
+	// impossible and post-close batches deliver inline.
+	pubMu   sync.RWMutex
+	closed  bool
+	workers sync.WaitGroup
+
+	wdStop chan struct{}
+	wdDone chan struct{}
+
+	base time.Time
+}
+
+// New builds a Fabric and starts its wake-up pool.
+func New(cfg Config) *Fabric {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = max(2, runtime.GOMAXPROCS(0))
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.WakeBatch <= 0 {
+		cfg.WakeBatch = DefaultWakeBatch
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	if cfg.FlatThreshold <= 0 {
+		cfg.FlatThreshold = DefaultFlatThreshold
+	}
+	f := &Fabric{
+		cfg:    cfg,
+		shards: make([]shard, shards),
+		mask:   uint64(shards - 1),
+		seed:   maphash.MakeSeed(),
+		queue:  make(chan wakeTask, cfg.QueueDepth),
+		base:   time.Now(),
+	}
+	for i := range f.shards {
+		f.shards[i].groups = make(map[string]*Group)
+	}
+	f.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go f.worker()
+	}
+	return f
+}
+
+// monons is the fabric's monotonic nanosecond clock (one
+// runtime.nanotime call; always > 0 once any group runs, so 0 can mean
+// "absent").
+func (f *Fabric) monons() int64 { return int64(time.Since(f.base)) }
+
+// shardOf maps a group name to its shard.
+func (f *Fabric) shardOf(name string) *shard {
+	return &f.shards[maphash.String(f.seed, name)&f.mask]
+}
+
+// GroupConfig configures one named group.
+type GroupConfig struct {
+	// Participants is the group's fixed round size P; required, >= 1.
+	Participants int
+	// Parked selects the goroutine-per-waiter engine instead of the
+	// async arrival stack: each arrival parks a goroutine on an inner
+	// spin barrier — the flat counter barrier up to the fabric's
+	// FlatThreshold, barrier.Hierarchical above it — with the wait
+	// policy chosen by the live regime (tune.FabricRegime). It exists
+	// as the measurable baseline and for callers that want the inner
+	// barriers' exact semantics.
+	Parked bool
+	// Track allocates per-participant arrival counters so ArriveAs
+	// calls let the watchdog name the missing participants of a stalled
+	// round. Costs P words per group; leave off for anonymous groups.
+	Track bool
+}
+
+// Group returns the named group, creating it with cfg on first use.
+// A second caller reaching an existing group gets that group; its cfg
+// must agree on Participants (and engine), or an error is returned —
+// two services disagreeing on a group's shape is a bug worth surfacing,
+// not papering over.
+func (f *Fabric) Group(name string, cfg GroupConfig) (*Group, error) {
+	if cfg.Participants < 1 {
+		return nil, fmt.Errorf("fabric: group %q: participants %d < 1", name, cfg.Participants)
+	}
+	s := f.shardOf(name)
+	s.mu.RLock()
+	g, ok := s.groups[name]
+	s.mu.RUnlock()
+	if !ok {
+		// Construct outside the shard lock: group construction reads
+		// fabric-wide state (the live-group count for the regime
+		// policy), which takes shard read locks of its own. A racing
+		// creator may win the insert; its group is kept and ours is
+		// dropped unstarted.
+		ng := f.newGroup(name, cfg)
+		s.mu.Lock()
+		if g, ok = s.groups[name]; !ok {
+			s.groups[name] = ng
+			s.mu.Unlock()
+			return ng, nil
+		}
+		s.mu.Unlock()
+	}
+	if g.p != cfg.Participants {
+		return nil, fmt.Errorf("fabric: group %q exists with %d participants, requested %d",
+			name, g.p, cfg.Participants)
+	}
+	if (g.parked != nil) != cfg.Parked {
+		return nil, fmt.Errorf("fabric: group %q exists with parked=%v, requested %v",
+			name, g.parked != nil, cfg.Parked)
+	}
+	return g, nil
+}
+
+// Lookup returns the named group without creating it.
+func (f *Fabric) Lookup(name string) (*Group, bool) {
+	s := f.shardOf(name)
+	s.mu.RLock()
+	g, ok := s.groups[name]
+	s.mu.RUnlock()
+	return g, ok
+}
+
+// Remove closes the named group and removes it from the registry.
+// Holders of the stale *Group see ErrClosed on their next Arrive.
+func (f *Fabric) Remove(name string) bool {
+	s := f.shardOf(name)
+	s.mu.Lock()
+	g, ok := s.groups[name]
+	delete(s.groups, name)
+	s.mu.Unlock()
+	if ok {
+		g.Close()
+	}
+	return ok
+}
+
+// Groups counts the registered groups.
+func (f *Fabric) Groups() int {
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		n += len(s.groups)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Sweep removes groups that have been idle — no round in flight and no
+// arrival — for at least idle, returning how many it collected. This
+// is the GC half of the lifecycle: a request-driven service creates
+// groups on demand and sweeps them on a timer.
+func (f *Fabric) Sweep(idle time.Duration) int {
+	now := f.monons()
+	cutoff := now - int64(idle)
+	removed := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		var victims []*Group
+		s.mu.Lock()
+		for name, g := range s.groups {
+			if g.idleSince(cutoff) {
+				delete(s.groups, name)
+				victims = append(victims, g)
+			}
+		}
+		s.mu.Unlock()
+		for _, g := range victims {
+			g.Close()
+			removed++
+		}
+	}
+	return removed
+}
+
+// regimePolicy picks the wait policy a parked group's inner barrier
+// should use, from the live regime: the group's own P plus every other
+// registered group's participants compete for the same GOMAXPROCS.
+func (f *Fabric) regimePolicy(p int) tune.Regime {
+	return tune.FabricRegime(p, f.Groups()+1, runtime.GOMAXPROCS(0))
+}
+
+// Close closes every group (draining in-flight waiters with ErrClosed),
+// stops the wake-up pool after the queue fully drains, and stops the
+// watchdog. The Fabric must not be used afterwards; Arrive on a held
+// Group returns ErrClosed outcomes.
+func (f *Fabric) Close() {
+	f.StopWatchdog()
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		groups := make([]*Group, 0, len(s.groups))
+		for _, g := range s.groups {
+			groups = append(groups, g)
+		}
+		s.groups = make(map[string]*Group)
+		s.mu.Unlock()
+		for _, g := range groups {
+			g.Close()
+		}
+	}
+	f.pubMu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.pubMu.Unlock()
+	f.workers.Wait()
+}

@@ -1,0 +1,144 @@
+package fabric
+
+// The parked (goroutine-per-waiter) engine: the conventional way to
+// put a barrier behind a service API, kept here both as the measured
+// baseline for the async arrival stack (`barrierbench -fabric
+// -fabricmode both`) and for callers that want the inner spin
+// barriers' exact episode semantics.
+//
+// Every arrival spawns a goroutine that parks on an inner barrier —
+// the flat counter barrier (barrier.Central) for small groups, the
+// topology-aware barrier.Hierarchical above the fabric's
+// FlatThreshold — with the wait policy picked from the live regime
+// (tune.FabricRegime: a thousand live groups on eight cores must park,
+// one group may spin).
+//
+// The inner barriers are sense-reversing and reusable, but reuse is
+// only safe when participant id's rounds are serialized: two
+// goroutines waiting as the same id concurrently would corrupt an
+// episode. Arrivals therefore take a global ticket t; ticket t is
+// round t/P as participant t%P, and a per-id padded door admits round
+// r+1's goroutine only after round r's goroutine for that id has fully
+// left the barrier.
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"armbarrier/barrier"
+	"armbarrier/internal/pad"
+)
+
+type parkedGroup struct {
+	g      *Group
+	inner  barrier.DeadlineWaiter
+	budget time.Duration
+
+	// tickets is the global arrival ticket counter; ticket t maps to
+	// (round t/P, id t%P).
+	tickets pad.Padded[atomic.Uint64]
+	// doors[id] is the round whose goroutine may currently occupy slot
+	// id of the inner barrier.
+	doors []pad.Padded[atomic.Uint64]
+}
+
+func (f *Fabric) newParkedGroup(g *Group) *parkedGroup {
+	pol := f.regimePolicy(g.p).WaitPolicy()
+	var inner barrier.DeadlineWaiter
+	if g.p <= f.cfg.FlatThreshold {
+		inner = barrier.NewCentral(g.p, barrier.WithWaitPolicy(pol))
+	} else {
+		inner = barrier.NewHierarchical(g.p,
+			barrier.HierarchicalConfig{Name: "fabric/" + g.name},
+			barrier.WithWaitPolicy(pol))
+	}
+	return &parkedGroup{
+		g:      g,
+		inner:  inner,
+		budget: f.cfg.ParkedBudget,
+		doors:  make([]pad.Padded[atomic.Uint64], g.p),
+	}
+}
+
+// arrive spawns the waiter goroutine — the per-waiter cost the async
+// engine exists to avoid, incurred here on purpose.
+func (pk *parkedGroup) arrive(ch chan Outcome) {
+	go pk.join(ch)
+}
+
+func (pk *parkedGroup) join(ch chan Outcome) {
+	g := pk.g
+	t := pk.tickets.V.Add(1) - 1
+	p := uint64(g.p)
+	round, id := t/p, int(t%p)
+	if id == 0 {
+		now := g.fab.monons()
+		g.meta.V.firstNs.Store(now)
+		g.meta.V.lastNs.Store(now)
+	}
+	door := &pk.doors[id].V
+	for door.Load() != round {
+		if g.closed.Load() {
+			// The group closed while this arrival was queued behind
+			// earlier rounds; its round can no longer assemble.
+			ch <- Outcome{Err: ErrClosed}
+			return
+		}
+		runtime.Gosched()
+	}
+	var err error
+	switch {
+	case g.closed.Load():
+		err = ErrClosed
+	case pk.budget > 0:
+		err = pk.inner.WaitDeadline(id, pk.budget)
+	default:
+		err = pk.waitRecover(id)
+	}
+	door.Store(round + 1)
+	if err != nil {
+		ch <- Outcome{Err: err}
+		return
+	}
+	if id == 0 {
+		g.meta.V.rounds.Add(1)
+		g.meta.V.lastNs.Store(g.fab.monons())
+	}
+	ch <- Outcome{Round: round}
+}
+
+// waitRecover runs an unbounded inner wait, converting a poisoned
+// barrier's panic (a peer timed out in an earlier round) into an error
+// on this waiter's outcome instead of killing its goroutine.
+func (pk *parkedGroup) waitRecover(id int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fabric: parked group %q: inner barrier: %v", pk.g.name, r)
+		}
+	}()
+	pk.inner.Wait(id)
+	return nil
+}
+
+// inflight approximates the current round's arrival count from the
+// ticket/round counters (clamped: tickets may run ahead into future
+// rounds while waiters queue at the doors).
+func (pk *parkedGroup) inflight() int {
+	n := int64(pk.tickets.V.Load()) - int64(pk.g.meta.V.rounds.Load())*int64(pk.g.p)
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(pk.g.p) {
+		n = int64(pk.g.p)
+	}
+	return int(n)
+}
+
+// close has nothing of its own to tear down: the closed flag (checked
+// at the doors) stops future rounds, and in-flight inner waits drain
+// via the ParkedBudget deadline — a parked group without a budget can
+// strand its final partial round's goroutines, which is exactly the
+// lifecycle hazard the async engine avoids by construction.
+func (pk *parkedGroup) close() {}

@@ -1,0 +1,97 @@
+package fabric
+
+// The batched wake-up pool. A completed round's waiter list is
+// delivered by a small fixed pool of workers instead of the publisher
+// (so the publisher's own join latency stays flat regardless of P) and
+// instead of one goroutine wakeup at a time (each task delivers up to
+// WakeBatch outcomes in one pass, amortizing the scheduler handoffs).
+// A task bigger than WakeBatch re-queues its remainder, so the queue
+// interleaves chunks of different groups and a 4096-participant
+// release cannot add its full fan-out to a small group's tail latency.
+//
+// Back-pressure: the queue is bounded. A publisher (or a worker
+// re-queuing a remainder) that finds it full delivers inline — the
+// overload cost lands on the group causing it, not on the queue's
+// other tenants.
+
+// wakeTask is one delivery unit: a (chunk of a) completed round's
+// waiter list.
+type wakeTask struct {
+	g       *Group
+	chain   *waiter
+	round   uint64
+	sampled bool
+}
+
+// worker drains the completion queue until Close closes it.
+func (f *Fabric) worker() {
+	defer f.workers.Done()
+	for t := range f.queue {
+		f.deliverBatch(t)
+	}
+}
+
+// enqueueWake hands a completed round to the pool, falling back to
+// inline delivery when the queue is full or the fabric is closing. The
+// read-lock pairs with Close's write-side close of the queue: a send
+// can only happen while the queue is provably open.
+func (f *Fabric) enqueueWake(t wakeTask) {
+	f.pubMu.RLock()
+	if !f.closed {
+		select {
+		case f.queue <- t:
+			f.pubMu.RUnlock()
+			return
+		default:
+		}
+	}
+	f.pubMu.RUnlock()
+	f.deliverAll(t)
+}
+
+// deliverBatch delivers up to WakeBatch outcomes from the task and
+// re-queues the remainder.
+func (f *Fabric) deliverBatch(t wakeTask) {
+	var deliverNs int64
+	if t.sampled {
+		deliverNs = f.monons()
+	}
+	w := t.chain
+	for i := 0; i < f.cfg.WakeBatch && w != nil; i++ {
+		next := w.next
+		w.next = nil // unlink so delivered nodes don't pin the chain
+		f.deliverOne(t, w, deliverNs)
+		w = next
+	}
+	if w != nil {
+		f.enqueueWake(wakeTask{g: t.g, chain: w, round: t.round, sampled: t.sampled})
+	}
+}
+
+// deliverAll delivers the whole task inline, in WakeBatch chunks so the
+// sampled wait timestamps stay per-chunk like the pooled path.
+func (f *Fabric) deliverAll(t wakeTask) {
+	for w := t.chain; w != nil; {
+		var deliverNs int64
+		if t.sampled {
+			deliverNs = f.monons()
+		}
+		for i := 0; i < f.cfg.WakeBatch && w != nil; i++ {
+			next := w.next
+			w.next = nil
+			f.deliverOne(t, w, deliverNs)
+			w = next
+		}
+	}
+}
+
+// deliverOne sends one waiter its outcome and folds the sampled wait
+// (arrival to delivery) into the group's rollup. The channel send
+// cannot block: every waiter channel has capacity 1 and receives
+// exactly one outcome.
+func (f *Fabric) deliverOne(t wakeTask, w *waiter, deliverNs int64) {
+	w.ch <- Outcome{Round: t.round}
+	if t.sampled && w.arriveNs > 0 && t.g.st != nil {
+		t.g.st.join(deliverNs - w.arriveNs)
+	}
+}

@@ -1,0 +1,46 @@
+// Package pad centralizes the cacheline-padding discipline used for
+// every piece of per-participant and per-group hot state in this
+// repository. The repeated idiom — a small payload followed by a
+// trailing byte array sized so neighbouring slots in a slice never
+// share a cacheline — used to be copied into each slot type (park
+// slots, deadline slots, probe slots, watchdog slots, telemetry
+// shards); this package is the single place the constant and the two
+// padding shapes live.
+//
+// Two shapes are provided:
+//
+//   - Exact-multiple padding, for slot types that must be a precise
+//     number of lines (layout tests assert the sizes). Write the
+//     trailing pad with the Trailing formula:
+//
+//     type slot struct {
+//     payload
+//     _ [pad.CacheLine - unsafe.Sizeof(payload{})%pad.CacheLine]byte
+//     }
+//
+//     unsafe.Sizeof of a concrete type is a compile-time constant, so
+//     the array length is checked at build time and the slot cannot
+//     silently drift off its line when a field is added.
+//
+//   - Padded[T], the generic slot for new code: the payload plus one
+//     full trailing line. The total size is not an exact line multiple,
+//     but consecutive elements of a []Padded[T] are always at least a
+//     full line apart, so no two elements' payloads ever share a line —
+//     the property the padding exists to buy — without per-type
+//     formulas.
+package pad
+
+// CacheLine is the padding granularity: 128 bytes covers the 64-byte
+// lines of the studied ARMv8 machines plus adjacent-line prefetching,
+// and matches Kunpeng920's 128-byte L3 granularity. barrier.
+// CacheLineSize re-exports it for external callers.
+const CacheLine = 128
+
+// Padded places V on its own cacheline span: the trailing pad is a
+// full line, so in a []Padded[T] the gap between consecutive payloads
+// is at least CacheLine bytes and no two payloads can fall on one
+// line, wherever the slice base lands.
+type Padded[T any] struct {
+	V T
+	_ [CacheLine]byte
+}

@@ -1,0 +1,43 @@
+package pad
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// The whole point of Padded is that neighbouring elements of a slice
+// can never land on one line, for any payload size.
+func TestPaddedElementsDoNotShareLines(t *testing.T) {
+	small := make([]Padded[atomic.Uint32], 4)
+	for i := 1; i < len(small); i++ {
+		a := uintptr(unsafe.Pointer(&small[i-1].V))
+		b := uintptr(unsafe.Pointer(&small[i].V))
+		if b-a < CacheLine {
+			t.Fatalf("uint32 payloads %d bytes apart, want >= %d", b-a, CacheLine)
+		}
+	}
+	type wide struct{ a, b, c atomic.Uint64 }
+	big := make([]Padded[wide], 4)
+	for i := 1; i < len(big); i++ {
+		a := uintptr(unsafe.Pointer(&big[i-1].V))
+		b := uintptr(unsafe.Pointer(&big[i].V))
+		if b-a < CacheLine {
+			t.Fatalf("wide payloads %d bytes apart, want >= %d", b-a, CacheLine)
+		}
+	}
+}
+
+func TestTrailingFormulaYieldsExactMultiple(t *testing.T) {
+	type payload struct {
+		a uint64
+		b uint32
+	}
+	type slot struct {
+		payload
+		_ [CacheLine - unsafe.Sizeof(payload{})%CacheLine]byte
+	}
+	if got := unsafe.Sizeof(slot{}); got%CacheLine != 0 {
+		t.Fatalf("slot is %d bytes, want a multiple of %d", got, CacheLine)
+	}
+}

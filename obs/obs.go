@@ -59,6 +59,12 @@ func bucketOf(ns int64) int {
 	return idx
 }
 
+// BucketOf maps a duration in nanoseconds to its log2 bucket — the
+// exported counterpart of the internal bucketing, so other packages
+// (the fabric rollups) can fill histograms this package's
+// HistQuantileNs and exporters understand.
+func BucketOf(ns int64) int { return bucketOf(ns) }
+
 // BucketUpperNs returns the inclusive upper bound of bucket i in
 // nanoseconds, or math.MaxInt64 for the overflow bucket.
 func BucketUpperNs(i int) int64 {

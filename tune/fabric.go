@@ -1,0 +1,24 @@
+package tune
+
+// FabricRegime classifies the scheduling regime of one group inside a
+// fabric: the group's participants never compete for cores alone —
+// every live group's waiters share the same GOMAXPROCS. A single
+// 4-participant group on an 8-core box is dedicated; a thousand of
+// them are deeply oversubscribed and their inner barriers must park,
+// not spin. The fabric calls this at group creation to pick the wait
+// policy for parked groups' inner barriers.
+func FabricRegime(participants, liveGroups, gomaxprocs int) Regime {
+	if participants <= 0 || liveGroups <= 0 {
+		return RegimeUnknown
+	}
+	// Saturating multiply: a fabric holding 1<<20 groups of 1<<20
+	// participants must still classify, not wrap around.
+	total := participants
+	if liveGroups > 1 {
+		if participants > int(^uint(0)>>1)/liveGroups {
+			return RegimeOversubscribed
+		}
+		total = participants * liveGroups
+	}
+	return ClassifyStatic(total, gomaxprocs)
+}

@@ -1,0 +1,28 @@
+package tune
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFabricRegime(t *testing.T) {
+	cases := []struct {
+		p, groups, cores int
+		want             Regime
+	}{
+		{4, 1, 8, RegimeDedicated},      // one small group owns the box
+		{4, 2, 8, RegimeDedicated},      // 8 waiters on 8 cores
+		{4, 3, 8, RegimeOversubscribed}, // 12 on 8
+		{4, 1024, 8, RegimeOversubscribed},
+		{8, 1, 8, RegimeDedicated},
+		{0, 5, 8, RegimeUnknown},
+		{5, 0, 8, RegimeUnknown},
+		// Saturating multiply: must classify, not wrap.
+		{math.MaxInt32, math.MaxInt32, 8, RegimeOversubscribed},
+	}
+	for _, c := range cases {
+		if got := FabricRegime(c.p, c.groups, c.cores); got != c.want {
+			t.Errorf("FabricRegime(%d, %d, %d) = %v, want %v", c.p, c.groups, c.cores, got, c.want)
+		}
+	}
+}
