@@ -9,7 +9,7 @@ GO ?= go
 TEST_TIMEOUT ?= 180s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke hier-smoke fabric-smoke
+.PHONY: build vet fmt test race check bench-smoke fault-smoke timeline-smoke phases-smoke hier-smoke fabric-smoke elastic-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,10 @@ check: build vet fmt race
 		./fabric/ ./internal/pad/
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
 		-run 'TestFabric|TestDiffFabric' ./internal/faultinject/ ./cmd/benchdiff/ ./tune/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestPhaser|TestElastic|TestSweep|TestChurnRegime|TestDiffElastic' \
+		./barrier/ ./sim/ ./omp/ ./fabric/ ./obs/ ./tune/ \
+		./internal/faultinject/ ./cmd/benchdiff/
 
 # One quick barrierbench run per wait policy: exercises every wait
 # discipline end to end (flag parsing through measurement) without the
@@ -102,6 +106,19 @@ fabric-smoke:
 	$(GO) run ./cmd/barrierbench -fabric -fabricgroups 16 -fabricp 4 \
 		-fabricepisodes 20
 	$(GO) run ./examples/fabricserver -once | tail -n 20
+
+# Elastic membership smoke: the phaser/fabric elastic suites under the
+# race detector (dynamic register/deregister, the sweep/arrive race
+# regression, membership-aware wedge attribution), then one quick
+# churn sweep through the CLI so the phaser-vs-central ratio line
+# prints. Episodes are sized so the 1000/s churner lands cycles inside
+# the timed window without the cost of the BENCH_pr10 acceptance sweep.
+elastic-smoke:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestPhaser|TestElastic|TestSweep|TestChurnRegime' \
+		./barrier/ ./sim/ ./omp/ ./fabric/ ./obs/ ./tune/ ./internal/faultinject/
+	$(GO) run ./cmd/barrierbench -elastic -threads 2,4 -churn 0,1000 \
+		-episodes 5000
 
 # Phase-resolved telemetry smoke: one barrierbench run with the phase
 # probes armed (per-level tables plus the model-drift scoreboard on

@@ -235,11 +235,26 @@ func (e *PanicError) Unwrap() error {
 // bound those waits with WaitDeadline or watch them with a Watchdog if
 // the body can fail between barrier calls.
 func Run(b Barrier, body func(id int)) {
+	ids := make([]int, b.Participants())
+	for i := range ids {
+		ids[i] = i
+	}
+	RunIDs(b, ids, body)
+}
+
+// RunIDs is Run for an explicit participant set: one goroutine per id
+// in ids, with the same panic capture and re-raise. It exists for
+// elastic barriers (Phaser), where only the registered slots may call
+// Wait — Run's 0..Participants()-1 sweep would touch empty slots.
+func RunIDs(b Barrier, ids []int, body func(id int)) {
+	p := b.Participants()
+	for _, id := range ids {
+		checkID(id, p, b.Name())
+	}
 	var wg sync.WaitGroup
 	var first atomic.Pointer[PanicError]
-	p := b.Participants()
-	wg.Add(p)
-	for id := 0; id < p; id++ {
+	wg.Add(len(ids))
+	for _, id := range ids {
 		go func(id int) {
 			completed := false
 			defer func() {

@@ -1,0 +1,180 @@
+package barrier
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"armbarrier/sim"
+)
+
+// TestPhaserMatchesReferenceModel drives the real phaser and the
+// sequential sim.PhaserModel through the same randomized
+// register/deregister/arrive script and checks that they agree on
+// phase count, membership and who gets released when. Ops are
+// serialized: after spawning a real arrival the driver waits for its
+// CAS to land (or for the release the model predicted), so both sides
+// see every decision point with identical state — the interleavings
+// are explored across seeds, not within one run.
+func TestPhaserMatchesReferenceModel(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			t.Parallel()
+			runPhaserScript(t, seed, 400, 6)
+		})
+	}
+}
+
+func runPhaserScript(t *testing.T, seed int64, ops, capacity int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewPhaser(capacity)
+	model := sim.NewPhaserModel(capacity)
+	parties := make(map[int]*Party)
+	waitDone := make(map[int]chan struct{})
+
+	// await blocks until party id's in-flight Wait returns.
+	await := func(id int) {
+		ch, ok := waitDone[id]
+		if !ok {
+			t.Fatalf("seed %d: model released %d but no wait is in flight", seed, id)
+		}
+		select {
+		case <-ch:
+			delete(waitDone, id)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("seed %d: party %d's Wait wedged (model said released)", seed, id)
+		}
+	}
+	// settleArrival waits until the real packed word shows the model's
+	// arrival count — the spawned Wait's CAS has landed and the next op
+	// decides against the same state the model saw.
+	settleArrival := func() {
+		want := uint32(model.Arrived())
+		deadline := time.Now().Add(10 * time.Second)
+		for phArrived(b) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("seed %d: arrival never landed (real %d, model %d)",
+					seed, phArrived(b), want)
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+
+	idle := func() []int {
+		var ids []int
+		for id := range parties {
+			if !model.Waiting(id) {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+
+	for op := 0; op < ops; op++ {
+		choice := rng.Intn(10)
+		switch {
+		case choice < 3 && model.Registered() < capacity:
+			wantID, err := model.Register()
+			if err != nil {
+				t.Fatalf("seed %d op %d: model Register: %v", seed, op, err)
+			}
+			p, err := b.Register()
+			if err != nil {
+				t.Fatalf("seed %d op %d: Register: %v", seed, op, err)
+			}
+			if p.ID() != wantID {
+				t.Fatalf("seed %d op %d: Register slot %d, model %d", seed, op, p.ID(), wantID)
+			}
+			parties[p.ID()] = p
+
+		case choice < 5:
+			ids := idle()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			released, err := model.Deregister(id)
+			if err != nil {
+				t.Fatalf("seed %d op %d: model Deregister(%d): %v", seed, op, id, err)
+			}
+			parties[id].Deregister()
+			delete(parties, id)
+			for _, r := range released {
+				await(r)
+			}
+
+		default:
+			ids := idle()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			released, err := model.Arrive(id)
+			if err != nil {
+				t.Fatalf("seed %d op %d: model Arrive(%d): %v", seed, op, id, err)
+			}
+			ch := make(chan struct{})
+			waitDone[id] = ch
+			go func(id int) {
+				b.Wait(id)
+				close(ch)
+			}(id)
+			if len(released) > 0 {
+				for _, r := range released {
+					await(r)
+				}
+			} else {
+				settleArrival()
+			}
+		}
+
+		if got, want := b.Phase(), model.Phase(); got != want {
+			t.Fatalf("seed %d op %d: Phase() = %d, model %d", seed, op, got, want)
+		}
+		if got, want := b.Registered(), model.Registered(); got != want {
+			t.Fatalf("seed %d op %d: Registered() = %d, model %d", seed, op, got, want)
+		}
+		for id := 0; id < capacity; id++ {
+			if got, want := b.IsMember(id), model.IsMember(id); got != want {
+				t.Fatalf("seed %d op %d: IsMember(%d) = %v, model %v", seed, op, id, got, want)
+			}
+		}
+	}
+
+	// Drain: release every still-waiting party by arriving the idle
+	// ones, then deregister everyone so nothing leaks into the next
+	// subtest's goroutine count.
+	for model.Arrived() > 0 {
+		ids := idle()
+		if len(ids) == 0 {
+			t.Fatalf("seed %d: arrivals outstanding but no idle party", seed)
+		}
+		id := ids[0]
+		released, err := model.Arrive(id)
+		if err != nil {
+			t.Fatalf("seed %d drain: %v", seed, err)
+		}
+		ch := make(chan struct{})
+		waitDone[id] = ch
+		go func(id int) {
+			b.Wait(id)
+			close(ch)
+		}(id)
+		if len(released) > 0 {
+			for _, r := range released {
+				await(r)
+			}
+		} else {
+			settleArrival()
+		}
+	}
+	if len(waitDone) != 0 {
+		t.Fatalf("seed %d: waits still in flight after drain: %d", seed, len(waitDone))
+	}
+}

@@ -32,6 +32,10 @@ type Watchdog struct {
 	inner Barrier
 	cfg   WatchdogConfig
 	slots []wdSlot
+	// mem is non-nil when the wrapped barrier has elastic membership
+	// (Phaser): Check then restricts "Missing" to currently registered
+	// slots, so a deregistered party is never named.
+	mem Membership
 
 	// stalls counts distinct stall reports; stalled is 1 while the most
 	// recent Check saw a stall.
@@ -115,11 +119,15 @@ func NewWatchdog(b Barrier, cfg WatchdogConfig) *Watchdog {
 			cfg.Poll = time.Millisecond
 		}
 	}
-	return &Watchdog{
+	d := &Watchdog{
 		inner: b,
 		cfg:   cfg,
 		slots: make([]wdSlot, b.Participants()),
 	}
+	if m, ok := b.(Membership); ok {
+		d.mem = m
+	}
+	return d
 }
 
 // Name implements Barrier.
@@ -187,7 +195,7 @@ func (d *Watchdog) Check() (Stall, bool) {
 			if e == oldest {
 				st.Round = d.slots[i].rounds.Load()
 			}
-		} else {
+		} else if d.mem == nil || d.mem.IsMember(i) {
 			st.Missing = append(st.Missing, i)
 		}
 	}
@@ -322,6 +330,24 @@ func (d *Watchdog) ParkCounts(id int) (parks, wakes uint64) {
 		return pc.ParkCounts(id)
 	}
 	return 0, 0
+}
+
+// IsMember implements Membership by delegation; true for every slot of
+// a fixed-membership barrier.
+func (d *Watchdog) IsMember(id int) bool {
+	if d.mem != nil {
+		return d.mem.IsMember(id)
+	}
+	return id >= 0 && id < len(d.slots)
+}
+
+// Registered implements Membership by delegation; Participants() for a
+// fixed-membership barrier.
+func (d *Watchdog) Registered() int {
+	if d.mem != nil {
+		return d.mem.Registered()
+	}
+	return len(d.slots)
 }
 
 var (

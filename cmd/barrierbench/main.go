@@ -118,6 +118,8 @@ func run(args []string, out io.Writer) error {
 		fabricMode  = fs.String("fabricmode", "both", "fabric engines to sweep: async, parked, or both")
 		fabricEp    = fs.Int("fabricepisodes", 50, "joins per generator per -fabric point")
 		fabricRate  = fs.String("fabricrate", "", "comma-separated per-generator arrival rates/sec for -fabric (default closed loop)")
+		elasticFlag = fs.Bool("elastic", false, "benchmark the elastic-membership phaser (churn sweep vs fixed-P central) instead of bare barriers")
+		churnFlag   = fs.String("churn", "0,100,1000,10000", "comma-separated membership churn targets (register/deregister cycles per second) for -elastic; 0 = steady state")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,6 +145,28 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-fabricepisodes must be >= 1, got %d", *fabricEp)
 		}
 		return runFabric(out, modes, groupsList, pList, rates, *fabricEp, *csv, *jsonout)
+	}
+	if *elasticFlag {
+		wait, err := barrier.ParseWaitPolicy(*waitFlag)
+		if err != nil {
+			return err
+		}
+		var wopts []barrier.Option
+		if wait != barrier.SpinYieldWait() {
+			wopts = append(wopts, barrier.WithWaitPolicy(wait))
+		}
+		pList, err := parseThreads(*threadsFlag)
+		if err != nil {
+			return err
+		}
+		churnList, err := parseChurn(*churnFlag)
+		if err != nil {
+			return err
+		}
+		if *episodes < 1 {
+			return fmt.Errorf("-episodes must be >= 1, got %d", *episodes)
+		}
+		return runElastic(out, pList, churnList, *episodes, wopts, *csv, *jsonout)
 	}
 
 	tracing := *traceFlag || *traceout != ""
@@ -477,6 +501,9 @@ type benchReport struct {
 	// Fabric holds the -fabric sweep's throughput points (mode
 	// "fabric" reports only).
 	Fabric []fabric.BenchPoint `json:"fabric,omitempty"`
+	// Elastic holds the -elastic churn sweep's points (mode "elastic"
+	// reports only).
+	Elastic []epcc.ElasticPoint `json:"elastic,omitempty"`
 }
 
 // resolveJSONDest turns a -jsonout value into a concrete file path: an

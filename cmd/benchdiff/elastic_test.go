@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"armbarrier/epcc"
+)
+
+// writeElasticFixture writes a mode-"elastic" report with the same
+// field names `barrierbench -elastic -jsonout` emits.
+func writeElasticFixture(t *testing.T, name string, points []epcc.ElasticPoint) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"timestamp":"2026-08-08T00:00:00Z","mode":"elastic","gomaxprocs":4,"elastic":[`)
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"participants":` + strconv.Itoa(p.Participants) +
+			`,"churn_target":` + strconv.Itoa(p.ChurnTarget) +
+			`,"churn_per_sec":0,"ns_per_round":` + strconv.FormatFloat(p.NsPerRound, 'f', 1, 64) +
+			`,"rounds_per_sec":1000,"baseline_ns":` + strconv.FormatFloat(p.BaselineNs, 'f', 1, 64) +
+			`,"episodes":1000}`)
+	}
+	sb.WriteString(`]}`)
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffElasticRoundTimeRegression(t *testing.T) {
+	oldPath := writeElasticFixture(t, "old.json", []epcc.ElasticPoint{
+		{Participants: 4, ChurnTarget: 0, NsPerRound: 1000, BaselineNs: 900},
+		{Participants: 4, ChurnTarget: 1000, NsPerRound: 1200, BaselineNs: 900},
+	})
+	// Steady state slows 50% (regression); the churny shape improves.
+	newPath := writeElasticFixture(t, "new.json", []epcc.ElasticPoint{
+		{Participants: 4, ChurnTarget: 0, NsPerRound: 1500, BaselineNs: 900},
+		{Participants: 4, ChurnTarget: 1000, NsPerRound: 1100, BaselineNs: 900},
+	})
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("want errRegression, got %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	mustContain(t, out, "REGRESSION")
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("want exactly one flagged row:\n%s", out)
+	}
+	// 1500/900 = 1.67x breaks the steady-state acceptance bound.
+	mustContain(t, out, "worst steady-state phaser/central ratio (new report): 1.67x  EXCEEDS 1.3x bound")
+}
+
+func TestDiffElasticWithinBoundPasses(t *testing.T) {
+	oldPath := writeElasticFixture(t, "old.json", []epcc.ElasticPoint{
+		{Participants: 2, ChurnTarget: 0, NsPerRound: 1000, BaselineNs: 950},
+		{Participants: 4, ChurnTarget: 0, NsPerRound: 1100, BaselineNs: 1000},
+	})
+	newPath := writeElasticFixture(t, "new.json", []epcc.ElasticPoint{
+		{Participants: 2, ChurnTarget: 0, NsPerRound: 990, BaselineNs: 950},
+		{Participants: 4, ChurnTarget: 0, NsPerRound: 1150, BaselineNs: 1000},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("within-threshold drift must pass: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	mustContain(t, out, "no regressions")
+	// Worst churn-0 ratio is 1150/1000 = 1.15x, inside the bound.
+	mustContain(t, out, "worst steady-state phaser/central ratio (new report): 1.15x")
+	if strings.Contains(out, "EXCEEDS") {
+		t.Errorf("ratio inside the bound must not be flagged:\n%s", out)
+	}
+}
+
+func TestDiffElasticOnlyReportLoads(t *testing.T) {
+	// An elastic-only report has no barrier results or fabric points;
+	// load must accept it and the other tables must not print.
+	oldPath := writeElasticFixture(t, "old.json", []epcc.ElasticPoint{
+		{Participants: 2, ChurnTarget: 100, NsPerRound: 800, BaselineNs: 700},
+	})
+	newPath := writeElasticFixture(t, "new.json", []epcc.ElasticPoint{
+		{Participants: 2, ChurnTarget: 100, NsPerRound: 800, BaselineNs: 700},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "algorithm") || strings.Contains(out, "fabric") {
+		t.Errorf("unrelated tables printed for an elastic-only report:\n%s", out)
+	}
+	// No churn-0 point: the steady-ratio summary must be absent.
+	if strings.Contains(out, "steady-state") {
+		t.Errorf("steady ratio printed without a churn-0 point:\n%s", out)
+	}
+}
+
+func TestDiffElasticDisjointShapes(t *testing.T) {
+	oldPath := writeElasticFixture(t, "old.json", []epcc.ElasticPoint{
+		{Participants: 2, ChurnTarget: 0, NsPerRound: 800, BaselineNs: 700},
+	})
+	newPath := writeElasticFixture(t, "new.json", []epcc.ElasticPoint{
+		{Participants: 8, ChurnTarget: 0, NsPerRound: 900, BaselineNs: 800},
+	})
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("disjoint elastic shapes must not fail: %v", err)
+	}
+	mustContain(t, sb.String(), "gone")
+	mustContain(t, sb.String(), "new")
+}

@@ -22,6 +22,11 @@
 // groups, participants, rate). Joins/sec is a throughput, so the
 // regression direction is inverted — losing more than the threshold is
 // what fails — and the geomean summary is reported per engine mode.
+//
+// Elastic sweeps from `barrierbench -elastic` diff on (participants,
+// churn target). Ns/round is lower-is-better like the overhead diff,
+// and the summary additionally reports the new report's worst
+// steady-state phaser/central ratio against the 1.3x acceptance bound.
 package main
 
 import (
@@ -72,6 +77,9 @@ type report struct {
 	// inverted; a report may carry fabric points, barrier results, or
 	// both.
 	Fabric []fabric.BenchPoint `json:"fabric,omitempty"`
+	// Elastic holds `barrierbench -elastic` churn-sweep points
+	// (lower-is-better ns/round, like the overhead results).
+	Elastic []epcc.ElasticPoint `json:"elastic,omitempty"`
 }
 
 // key identifies one measured combination across the two reports.
@@ -115,6 +123,7 @@ func run(args []string, out io.Writer) error {
 		regressions += diffBarrier(out, oldRep, newRep, *threshold)
 	}
 	regressions += diffFabric(out, oldRep.Fabric, newRep.Fabric, *threshold)
+	regressions += diffElastic(out, oldRep.Elastic, newRep.Elastic, *threshold)
 	if regressions > 0 {
 		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
 		return errRegression
@@ -264,6 +273,102 @@ func diffFabric(out io.Writer, oldPts, newPts []fabric.BenchPoint, threshold flo
 	return regressions
 }
 
+// elasticKey identifies one elastic sweep shape across the two reports.
+type elasticKey struct {
+	parts, churn int
+}
+
+// diffElastic diffs the elastic (phaser churn sweep) points. Ns/round
+// is lower-is-better, so the regression direction matches the overhead
+// diff. Beyond the pairwise deltas, the summary restates the new
+// report's worst steady-state (churn 0) phaser/central ratio — the
+// PR's standing acceptance number, flagged when it exceeds 1.3x even
+// if the old report carried the same miss. Reports without elastic
+// points print nothing.
+func diffElastic(out io.Writer, oldPts, newPts []epcc.ElasticPoint, threshold float64) int {
+	if len(oldPts) == 0 && len(newPts) == 0 {
+		return 0
+	}
+	oldBy := map[elasticKey]epcc.ElasticPoint{}
+	for _, p := range oldPts {
+		oldBy[elasticKey{p.Participants, p.ChurnTarget}] = p
+	}
+	newBy := map[elasticKey]epcc.ElasticPoint{}
+	for _, p := range newPts {
+		newBy[elasticKey{p.Participants, p.ChurnTarget}] = p
+	}
+	keys := make([]elasticKey, 0, len(oldBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].parts != keys[j].parts {
+			return keys[i].parts < keys[j].parts
+		}
+		return keys[i].churn < keys[j].churn
+	})
+	fmt.Fprintf(out, "\n%-8s %8s %12s %12s %8s\n", "elastic", "churn/s", "old ns", "new ns", "delta")
+	regressions := 0
+	var logSum float64
+	count := 0
+	for _, k := range keys {
+		o := oldBy[k]
+		n, ok := newBy[k]
+		if !ok {
+			fmt.Fprintf(out, "%-8d %8d %12.1f %12s %8s\n", k.parts, k.churn, o.NsPerRound, "-", "gone")
+			continue
+		}
+		delete(newBy, k)
+		delta := (n.NsPerRound - o.NsPerRound) / o.NsPerRound
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		if o.NsPerRound > 0 && n.NsPerRound > 0 {
+			logSum += math.Log(n.NsPerRound / o.NsPerRound)
+			count++
+		}
+		fmt.Fprintf(out, "%-8d %8d %12.1f %12.1f %+7.1f%%%s\n",
+			k.parts, k.churn, o.NsPerRound, n.NsPerRound, delta*100, mark)
+	}
+	for k, n := range newBy {
+		fmt.Fprintf(out, "%-8d %8d %12s %12.1f %8s\n", k.parts, k.churn, "-", n.NsPerRound, "new")
+	}
+	if count > 0 {
+		g := math.Exp(logSum / float64(count))
+		fmt.Fprintf(out, "geomean elastic ns/round: %+.1f%% over %d shape(s)\n", (g-1)*100, count)
+	}
+	printSteadyRatio(out, newPts)
+	return regressions
+}
+
+// elasticSteadyBound is the acceptance bound on the steady-state
+// phaser/central round-time ratio (the ISSUE's 1.3x).
+const elasticSteadyBound = 1.3
+
+// printSteadyRatio restates the new report's worst steady-state
+// (churn 0) phaser-over-central ratio and marks it when it exceeds the
+// acceptance bound. Reports without a churn-0 point print nothing.
+func printSteadyRatio(out io.Writer, pts []epcc.ElasticPoint) {
+	worst, have := 0.0, false
+	for _, p := range pts {
+		if p.ChurnTarget == 0 && p.BaselineNs > 0 {
+			if r := p.Ratio(); !have || r > worst {
+				worst, have = r, true
+			}
+		}
+	}
+	if !have {
+		return
+	}
+	mark := ""
+	if worst > elasticSteadyBound {
+		mark = fmt.Sprintf("  EXCEEDS %.1fx bound", elasticSteadyBound)
+	}
+	fmt.Fprintf(out, "worst steady-state phaser/central ratio (new report): %.2fx%s\n", worst, mark)
+}
+
 func load(path string) (report, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -273,7 +378,7 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return report{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(rep.Results) == 0 && len(rep.Fabric) == 0 {
+	if len(rep.Results) == 0 && len(rep.Fabric) == 0 && len(rep.Elastic) == 0 {
 		return report{}, fmt.Errorf("%s: no results", path)
 	}
 	return rep, nil

@@ -25,8 +25,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"armbarrier/fabric"
@@ -62,7 +64,11 @@ func main() {
 			http.Error(w, "missing or bad ?p= (participants)", http.StatusBadRequest)
 			return
 		}
-		g, err := f.Group(name, fabric.GroupConfig{Participants: p})
+		// &elastic=1 makes the group's size follow the requests: a later
+		// caller asking for a different p resizes the group instead of
+		// getting a 409, so late joiners can widen the rendezvous.
+		elastic := r.URL.Query().Get("elastic") == "1"
+		g, err := f.Group(name, fabric.GroupConfig{Participants: p, Elastic: elastic})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
@@ -81,11 +87,26 @@ func main() {
 		enc.Encode(f.Snapshot(true))
 	})
 
+	// The sweeper stops with the process: a ticker tied to the shutdown
+	// context (time.Tick would leak the ticker and pin this goroutine —
+	// and the Fabric it closes over — past any graceful shutdown).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var sweeper sync.WaitGroup
 	if *sweep > 0 {
+		sweeper.Add(1)
 		go func() {
-			for range time.Tick(*sweep) {
-				if n := f.Sweep(*sweep); n > 0 {
-					log.Printf("swept %d idle groups", n)
+			defer sweeper.Done()
+			t := time.NewTicker(*sweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := f.Sweep(*sweep); n > 0 {
+						log.Printf("swept %d idle groups", n)
+					}
 				}
 			}
 		}()
@@ -96,11 +117,23 @@ func main() {
 		snap := f.Snapshot(true)
 		out, _ := json.MarshalIndent(snap, "", "  ")
 		os.Stdout.Write(append(out, '\n'))
+		stop()
+		sweeper.Wait()
 		return
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
 	log.Printf("fabricserver on http://%s  (POST /join?group=G&p=N, GET /debug/fabric)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	sweeper.Wait()
 }
 
 // runBurst drives the fabric the way concurrent requests would: a few

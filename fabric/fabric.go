@@ -195,22 +195,43 @@ type GroupConfig struct {
 	// calls let the watchdog name the missing participants of a stalled
 	// round. Costs P words per group; leave off for anonymous groups.
 	Track bool
+	// Elastic lets the group's round size follow its membership: a
+	// Fabric.Group call reaching an existing elastic group with a
+	// different Participants resizes the target instead of erroring (a
+	// late joiner raises it, a leaver lowers it), and Group.Resize
+	// adjusts it directly. Each round's size is latched by its first
+	// arrival, so a resize only ever affects rounds that have not begun.
+	// Elastic groups use the async engine and are anonymous: combining
+	// Elastic with Parked or Track is an error (the parked engine's
+	// ticket math and the tracked arrival table both assume a fixed P).
+	Elastic bool
 }
 
 // Group returns the named group, creating it with cfg on first use.
 // A second caller reaching an existing group gets that group; its cfg
-// must agree on Participants (and engine), or an error is returned —
-// two services disagreeing on a group's shape is a bug worth surfacing,
-// not papering over.
+// must agree on the engine, or an error is returned — two services
+// disagreeing on a group's shape is a bug worth surfacing, not
+// papering over. Fixed groups must also agree on Participants; for an
+// elastic group a differing Participants is a resize request (see
+// GroupConfig.Elastic). A group that was closed (directly, or by a
+// sweep racing this call) is never returned: the slow path replaces
+// the corpse with a fresh group, so a long-lived name survives its own
+// garbage collection.
 func (f *Fabric) Group(name string, cfg GroupConfig) (*Group, error) {
 	if cfg.Participants < 1 {
 		return nil, fmt.Errorf("fabric: group %q: participants %d < 1", name, cfg.Participants)
+	}
+	if cfg.Elastic && cfg.Parked {
+		return nil, fmt.Errorf("fabric: group %q: Elastic requires the async engine (Parked set)", name)
+	}
+	if cfg.Elastic && cfg.Track {
+		return nil, fmt.Errorf("fabric: group %q: Elastic groups are anonymous (Track set)", name)
 	}
 	s := f.shardOf(name)
 	s.mu.RLock()
 	g, ok := s.groups[name]
 	s.mu.RUnlock()
-	if !ok {
+	if !ok || g.Closed() {
 		// Construct outside the shard lock: group construction reads
 		// fabric-wide state (the live-group count for the regime
 		// policy), which takes shard read locks of its own. A racing
@@ -218,20 +239,37 @@ func (f *Fabric) Group(name string, cfg GroupConfig) (*Group, error) {
 		// dropped unstarted.
 		ng := f.newGroup(name, cfg)
 		s.mu.Lock()
-		if g, ok = s.groups[name]; !ok {
+		if g, ok = s.groups[name]; !ok || g.Closed() {
 			s.groups[name] = ng
 			s.mu.Unlock()
 			return ng, nil
 		}
 		s.mu.Unlock()
 	}
-	if g.p != cfg.Participants {
-		return nil, fmt.Errorf("fabric: group %q exists with %d participants, requested %d",
-			name, g.p, cfg.Participants)
+	return groupCompat(name, g, cfg)
+}
+
+// groupCompat reconciles an existing group with a new caller's cfg.
+func groupCompat(name string, g *Group, cfg GroupConfig) (*Group, error) {
+	if g.elastic != cfg.Elastic {
+		return nil, fmt.Errorf("fabric: group %q exists with elastic=%v, requested %v",
+			name, g.elastic, cfg.Elastic)
 	}
 	if (g.parked != nil) != cfg.Parked {
 		return nil, fmt.Errorf("fabric: group %q exists with parked=%v, requested %v",
 			name, g.parked != nil, cfg.Parked)
+	}
+	if g.elastic {
+		if g.Participants() != cfg.Participants {
+			if err := g.Resize(cfg.Participants); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+	if g.p != cfg.Participants {
+		return nil, fmt.Errorf("fabric: group %q exists with %d participants, requested %d",
+			name, g.p, cfg.Participants)
 	}
 	return g, nil
 }
@@ -246,16 +284,20 @@ func (f *Fabric) Lookup(name string) (*Group, bool) {
 }
 
 // Remove closes the named group and removes it from the registry.
-// Holders of the stale *Group see ErrClosed on their next Arrive.
+// Holders of the stale *Group see ErrClosed on their next Arrive. The
+// close happens under the shard lock, in the same critical section as
+// the delete, so no Group/Lookup caller can ever obtain a removed-but-
+// not-yet-closed group (Close never blocks: outcome channels are
+// buffered and the parked engine's close is a flag).
 func (f *Fabric) Remove(name string) bool {
 	s := f.shardOf(name)
 	s.mu.Lock()
 	g, ok := s.groups[name]
 	delete(s.groups, name)
-	s.mu.Unlock()
 	if ok {
 		g.Close()
 	}
+	s.mu.Unlock()
 	return ok
 }
 
@@ -275,25 +317,29 @@ func (f *Fabric) Groups() int {
 // arrival — for at least idle, returning how many it collected. This
 // is the GC half of the lifecycle: a request-driven service creates
 // groups on demand and sweeps them on a timer.
+//
+// Close-and-delete is atomic per group: tryCloseIdle installs the
+// closed sentinel with one CAS of the empty arrival stack, under the
+// same shard write lock as the map delete. An Arrive racing the sweep
+// therefore either defeats the CAS (its node landed first; the group
+// survives and its round proceeds) or observes the sentinel and gets
+// ErrClosed — it can never be silently detached, and a concurrent
+// Fabric.Group for the name can never resurrect the swept instance,
+// only create a fresh one after the delete.
 func (f *Fabric) Sweep(idle time.Duration) int {
 	now := f.monons()
 	cutoff := now - int64(idle)
 	removed := 0
 	for i := range f.shards {
 		s := &f.shards[i]
-		var victims []*Group
 		s.mu.Lock()
 		for name, g := range s.groups {
-			if g.idleSince(cutoff) {
+			if g.tryCloseIdle(cutoff) {
 				delete(s.groups, name)
-				victims = append(victims, g)
+				removed++
 			}
 		}
 		s.mu.Unlock()
-		for _, g := range victims {
-			g.Close()
-			removed++
-		}
 	}
 	return removed
 }

@@ -34,6 +34,7 @@ package fabric
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"armbarrier/internal/pad"
@@ -59,9 +60,14 @@ type Outcome struct {
 type waiter struct {
 	ch chan Outcome
 	// n is the cumulative arrival count of this waiter's round at the
-	// moment it was pushed; the node with n == P-1 under a new arrival
-	// makes that arrival the publisher.
+	// moment it was pushed; the node with n == roundP-1 under a new
+	// arrival makes that arrival the publisher.
 	n uint32
+	// roundP is the round size latched by the round's first arrival and
+	// copied down the chain: an elastic resize changes only rounds that
+	// have not yet begun, so an in-flight round always resolves at the
+	// size its waiters signed up for. Fixed groups stamp their constant P.
+	roundP uint32
 	// arriveNs is this arrival's timestamp, stamped only on sampled
 	// rounds (0 otherwise) so unsampled rounds pay no clock read.
 	arriveNs int64
@@ -102,6 +108,12 @@ type Group struct {
 	p    int
 	fab  *Fabric
 
+	// elastic marks a group whose round size follows membership; want is
+	// the target size the NEXT round's first arrival will latch. Fixed
+	// groups keep want pinned to p so the arrival path is uniform.
+	elastic bool
+	want    atomic.Int32
+
 	hot  pad.Padded[groupHot]
 	meta pad.Padded[groupMeta]
 
@@ -117,7 +129,8 @@ type Group struct {
 }
 
 func (f *Fabric) newGroup(name string, cfg GroupConfig) *Group {
-	g := &Group{name: name, p: cfg.Participants, fab: f}
+	g := &Group{name: name, p: cfg.Participants, fab: f, elastic: cfg.Elastic}
+	g.want.Store(int32(cfg.Participants))
 	if f.cfg.SampleEvery > 0 {
 		g.st = newGroupStats(uint64(f.cfg.SampleEvery))
 	}
@@ -134,8 +147,29 @@ func (f *Fabric) newGroup(name string, cfg GroupConfig) *Group {
 // Name returns the group's registry name.
 func (g *Group) Name() string { return g.name }
 
-// Participants returns the group's fixed round size P.
-func (g *Group) Participants() int { return g.p }
+// Participants returns the group's round size P: fixed at creation for
+// ordinary groups, the current target for elastic groups (an in-flight
+// round may still be running at a previously latched size).
+func (g *Group) Participants() int { return int(g.want.Load()) }
+
+// Elastic reports whether the group's round size can change.
+func (g *Group) Elastic() bool { return g.elastic }
+
+// Resize sets an elastic group's round size. The change applies to the
+// next round's first arrival; a round already in flight completes at
+// the size it latched, so a shrink never strands waiters and a grow
+// never extends a rendezvous that is already assembling. Fixed groups
+// return an error.
+func (g *Group) Resize(p int) error {
+	if !g.elastic {
+		return fmt.Errorf("fabric: group %q is fixed at %d participants", g.name, g.p)
+	}
+	if p < 1 {
+		return fmt.Errorf("fabric: group %q: resize to %d < 1", g.name, p)
+	}
+	g.want.Store(int32(p))
+	return nil
+}
 
 // Rounds returns how many rounds have completed.
 func (g *Group) Rounds() uint64 { return g.meta.V.rounds.Load() }
@@ -206,9 +240,9 @@ func (g *Group) arrive(ch chan Outcome, id int) {
 			ch <- Outcome{Err: ErrClosed}
 			return
 		}
-		n := uint32(1)
+		n, roundP := uint32(1), uint32(g.want.Load())
 		if h != nil {
-			n = h.n + 1
+			n, roundP = h.n+1, h.roundP
 		} else {
 			// Candidate first arrival of a round: stamp the round start
 			// (watchdog age) and arm/disarm sampling before the CAS
@@ -220,14 +254,14 @@ func (g *Group) arrive(ch chan Outcome, id int) {
 				g.st.arm(g.meta.V.rounds.Load())
 			}
 		}
-		if int(n) == g.p {
+		if n == roundP {
 			// Last arrival: detach the whole round instead of pushing.
 			if g.hot.V.head.CompareAndSwap(h, nil) {
 				g.publish(h, ch, id)
 				return
 			}
 		} else {
-			w.n, w.next = n, h
+			w.n, w.roundP, w.next = n, roundP, h
 			w.arriveNs = 0
 			if g.st != nil && g.st.sampling() {
 				w.arriveNs = g.fab.monons()
@@ -274,9 +308,10 @@ func (g *Group) countArrival(id int) {
 }
 
 // Close marks the group closed and drains the partial round (if any)
-// with ErrClosed outcomes. Idempotent; concurrent with arrivals. The
-// group stays in the registry until Remove/Sweep/Fabric.Close takes it
-// out — Arrive on a closed group fails fast either way.
+// with ErrClosed outcomes. Idempotent; concurrent with arrivals.
+// A directly closed group that is still registered is a corpse: Arrive
+// on it fails fast, and the next Fabric.Group call for the name
+// replaces it with a fresh group rather than returning it.
 func (g *Group) Close() {
 	if g.closed.Swap(true) {
 		return
@@ -293,6 +328,39 @@ func (g *Group) Close() {
 // Closed reports whether Close has run.
 func (g *Group) Closed() bool { return g.closed.Load() }
 
+// tryCloseIdle closes the group iff it is provably idle: one CAS of
+// the empty arrival stack to the closed sentinel, called with the
+// shard write lock held so close-and-delete is a single step relative
+// to Group and Lookup. An arrival that lands between the sweep's
+// idleness check and the CAS makes the CAS fail and the group survives
+// the cycle — a swept arrival can therefore only ever observe the
+// sentinel (ErrClosed), never vanish into a detached stack.
+//
+// Parked groups have no single-word close; their check-then-close
+// keeps a residual window in which a queued arrival rides the doors
+// into a round that will never assemble. ParkedBudget bounds that
+// waiter's stay; an unbudgeted parked group accepts the leak as
+// documented in parkedGroup.close.
+func (g *Group) tryCloseIdle(cutoffNs int64) bool {
+	if g.meta.V.lastNs.Load() >= cutoffNs {
+		return false
+	}
+	if g.parked != nil {
+		if g.parked.inflight() != 0 {
+			return false
+		}
+		g.Close()
+		return true
+	}
+	if !g.hot.V.head.CompareAndSwap(nil, closedNode) {
+		// Non-empty (a round is in flight) or already closed by someone
+		// else; either way this sweep must leave it alone.
+		return false
+	}
+	g.closed.Store(true)
+	return true
+}
+
 // inflight returns the current round's arrival count (lock-free: the
 // stack head's cumulative n) — 0 when the stack is empty or closed.
 func (g *Group) inflight() int {
@@ -304,12 +372,6 @@ func (g *Group) inflight() int {
 		return 0
 	}
 	return int(h.n)
-}
-
-// idleSince reports whether the group has had no activity since the
-// cutoff timestamp and has no round in flight — the Sweep predicate.
-func (g *Group) idleSince(cutoffNs int64) bool {
-	return g.inflight() == 0 && g.meta.V.lastNs.Load() < cutoffNs
 }
 
 // spinWait is a tiny CPU-relax ladder for arrival-CAS retries; capped

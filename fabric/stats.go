@@ -82,6 +82,7 @@ type GroupSnapshot struct {
 	Name         string  `json:"name"`
 	Participants int     `json:"participants"`
 	Mode         string  `json:"mode"` // "async" or "parked"
+	Elastic      bool    `json:"elastic,omitempty"`
 	Closed       bool    `json:"closed"`
 	Rounds       uint64  `json:"rounds"`
 	InFlight     int     `json:"in_flight"`
@@ -101,8 +102,9 @@ type GroupSnapshot struct {
 func (g *Group) Snapshot() GroupSnapshot {
 	snap := GroupSnapshot{
 		Name:         g.name,
-		Participants: g.p,
+		Participants: g.Participants(),
 		Mode:         "async",
+		Elastic:      g.elastic,
 		Closed:       g.closed.Load(),
 		Rounds:       g.meta.V.rounds.Load(),
 		InFlight:     g.inflight(),

@@ -67,8 +67,16 @@ func (f *Fabric) Check() []Stall {
 // checkStall evaluates one group's in-flight round against the
 // deadline, entirely from lock-free reads.
 func (g *Group) checkStall(now, deadlineNs int64) (Stall, bool) {
-	arrived := g.inflight()
-	if arrived == 0 || arrived >= g.p || g.closed.Load() {
+	// Read the head once: the in-flight round's count AND its latched
+	// size come from the same node, so an elastic resize between reads
+	// cannot make a healthy round look short-handed.
+	arrived, target := 0, g.p
+	if h := g.hot.V.head.Load(); h != nil && h != closedNode {
+		arrived, target = int(h.n), int(h.roundP)
+	} else if g.parked != nil {
+		arrived = g.parked.inflight()
+	}
+	if arrived == 0 || arrived >= target || g.closed.Load() {
 		return Stall{}, false
 	}
 	first := g.meta.V.firstNs.Load()
@@ -79,7 +87,7 @@ func (g *Group) checkStall(now, deadlineNs int64) (Stall, bool) {
 		Group:        g.name,
 		Round:        g.meta.V.rounds.Load(),
 		Arrived:      arrived,
-		Participants: g.p,
+		Participants: target,
 		Age:          time.Duration(now - first),
 	}
 	if g.arrived != nil {

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"armbarrier/barrier"
+)
+
+// Phaser rows of the wedge matrix: dynamic membership changes the two
+// classic recovery stories. A wedged round no longer needs the
+// straggler to arrive — the straggler can DEREGISTER and the round
+// resolves without it (the absorbing deregistration); and a peer's
+// timeout poisons the phaser, which must refuse new registrations
+// rather than admit parties into a barrier that can no longer complete
+// a round.
+
+// TestPhaserDeregisterWhileWedgedMatrix: for every wait policy, three
+// of four parties wait, the watchdog names the absent fourth, and the
+// fourth deregisters instead of arriving — the wedge resolves, and a
+// clean next round at the reduced membership proves nothing was
+// poisoned.
+func TestPhaserDeregisterWhileWedgedMatrix(t *testing.T) {
+	const (
+		capacity = 8
+		members  = 4
+		absent   = 3
+		deadline = 25 * time.Millisecond
+		budget   = 30 * time.Second // failure bound: errors, not hangs
+	)
+	for pname, pol := range policies() {
+		t.Run(pname, func(t *testing.T) {
+			ph := barrier.NewPhaser(capacity, barrier.WithWaitPolicy(pol))
+			parties := make([]*barrier.Party, members)
+			for range parties {
+				p, err := ph.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				parties[p.ID()] = p
+			}
+			wd := barrier.NewWatchdog(ph, barrier.WatchdogConfig{Deadline: deadline})
+
+			errs := make([]error, members)
+			var wg sync.WaitGroup
+			for id := 0; id < members; id++ {
+				if id == absent {
+					continue
+				}
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					errs[id] = wd.WaitDeadline(id, budget)
+				}(id)
+			}
+
+			// The watchdog must name exactly the absent member — not the
+			// four never-registered capacity slots (membership-aware
+			// Missing), and not the waiting peers.
+			var st barrier.Stall
+			giveUp := time.Now().Add(20 * time.Second)
+			for {
+				var stalled bool
+				if st, stalled = wd.Check(); stalled &&
+					len(st.Missing) == 1 && len(st.Waiting) == members-1 {
+					break
+				}
+				if time.Now().After(giveUp) {
+					t.Fatalf("watchdog never reported the stall; last: %+v", st)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if st.Missing[0] != absent {
+				t.Errorf("Missing = %v, want [%d]", st.Missing, absent)
+			}
+
+			// Recovery by membership change: the absent party leaves, its
+			// pending arrival is absorbed, the round resolves.
+			parties[absent].Deregister()
+			wg.Wait()
+			for id, err := range errs {
+				if err != nil {
+					t.Errorf("participant %d: %v", id, err)
+				}
+			}
+			if got := ph.Phase(); got != 1 {
+				t.Errorf("Phase() = %d after absorbed round, want 1", got)
+			}
+
+			// Clean round at the reduced membership: not poisoned.
+			for id := 0; id < members-1; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					errs[id] = wd.WaitDeadline(id, budget)
+				}(id)
+			}
+			wg.Wait()
+			for id := 0; id < members-1; id++ {
+				if errs[id] != nil {
+					t.Errorf("clean round, participant %d: %v", id, errs[id])
+				}
+			}
+			if _, stalled := wd.Check(); stalled {
+				t.Error("stall persists after the deregistration resolved the wedge")
+			}
+		})
+	}
+}
+
+// TestPhaserRegisterDuringTimeout: a peer's WaitDeadline timeout
+// poisons the phaser; a registration racing (or following) that
+// timeout must be refused with ErrPhaserPoisoned — admitting a new
+// party into a barrier whose rounds can no longer complete would just
+// grow the wedge.
+func TestPhaserRegisterDuringTimeout(t *testing.T) {
+	ph := barrier.NewPhaser(4)
+	if _, err := ph.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ph.Register(); err != nil {
+		t.Fatal(err)
+	}
+	// Party 1 never arrives; party 0's bounded wait fires.
+	err := ph.WaitDeadline(0, 30*time.Millisecond)
+	if !errors.Is(err, barrier.ErrWaitTimeout) {
+		t.Fatalf("WaitDeadline = %v, want ErrWaitTimeout", err)
+	}
+	if !ph.Poisoned() {
+		t.Fatal("phaser not poisoned after timeout")
+	}
+	if _, err := ph.Register(); !errors.Is(err, barrier.ErrPhaserPoisoned) {
+		t.Fatalf("Register on poisoned phaser = %v, want ErrPhaserPoisoned", err)
+	}
+}

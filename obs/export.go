@@ -46,6 +46,11 @@ func escapeLabel(v string) string {
 //	armbarrier_round_skew_ns                     histogram (+_sum,_count)
 //	armbarrier_round_skew_max_ns                 gauge
 //
+// Elastic barriers (dynamic membership) additionally export
+// armbarrier_registered_parties, armbarrier_party_capacity,
+// armbarrier_register_total, armbarrier_deregister_total and
+// armbarrier_phaser_phase_total.
+//
 // Every series carries a barrier="<name>" label.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	// escapeLabel already produces the exposition-format escapes
@@ -129,6 +134,33 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			func(l PhaseLevelSnapshot) float64 { return float64(l.MaxNs) })
 		phaseGauge("armbarrier_phase_skew_ns", "Spread of per-participant mean cost at this (phase,level).",
 			func(l PhaseLevelSnapshot) float64 { return l.SkewNs })
+	}
+
+	// Elastic membership families, present only for barriers with
+	// dynamic membership (barrier.Phaser):
+	//
+	//	armbarrier_registered_parties   gauge
+	//	armbarrier_party_capacity       gauge
+	//	armbarrier_register_total       counter
+	//	armbarrier_deregister_total     counter
+	//	armbarrier_phaser_phase_total   counter
+	if s.Elastic != nil {
+		e := s.Elastic
+		fmt.Fprintf(&b, "# HELP armbarrier_registered_parties Currently registered parties of the elastic barrier.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_registered_parties gauge\n")
+		fmt.Fprintf(&b, "armbarrier_registered_parties{%s} %d\n", bl, e.Registered)
+		fmt.Fprintf(&b, "# HELP armbarrier_party_capacity Slot capacity of the elastic barrier.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_party_capacity gauge\n")
+		fmt.Fprintf(&b, "armbarrier_party_capacity{%s} %d\n", bl, e.Capacity)
+		fmt.Fprintf(&b, "# HELP armbarrier_register_total Lifetime party registrations.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_register_total counter\n")
+		fmt.Fprintf(&b, "armbarrier_register_total{%s} %d\n", bl, e.Registers)
+		fmt.Fprintf(&b, "# HELP armbarrier_deregister_total Lifetime party deregistrations.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_deregister_total counter\n")
+		fmt.Fprintf(&b, "armbarrier_deregister_total{%s} %d\n", bl, e.Deregisters)
+		fmt.Fprintf(&b, "# HELP armbarrier_phaser_phase_total Resolved epochs of the elastic barrier.\n")
+		fmt.Fprintf(&b, "# TYPE armbarrier_phaser_phase_total counter\n")
+		fmt.Fprintf(&b, "armbarrier_phaser_phase_total{%s} %d\n", bl, e.Phase)
 	}
 
 	_, err := io.WriteString(w, b.String())

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"armbarrier/barrier"
 )
@@ -119,5 +120,81 @@ func TestFormatFloatSpecials(t *testing.T) {
 		if got := formatFloat(c.in); got != c.want {
 			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+// TestElasticSnapshotAndExport: instrumenting an elastic barrier must
+// surface the membership telemetry — discovered through an Inner()
+// chain (here a Watchdog, whose Membership delegation alone must not
+// satisfy the discovery; the counters come from the phaser itself) —
+// in both the snapshot and the Prometheus exposition.
+func TestElasticSnapshotAndExport(t *testing.T) {
+	ph := barrier.NewPhaser(4)
+	var parties []*barrier.Party
+	for i := 0; i < 3; i++ {
+		p, err := ph.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parties = append(parties, p)
+	}
+	wd := barrier.NewWatchdog(ph, barrier.WatchdogConfig{Deadline: time.Minute})
+	in := Instrument(wd, Options{SampleEvery: 1})
+	barrier.RunIDs(in, []int{0, 1, 2}, func(id int) {
+		for r := 0; r < 4; r++ {
+			in.Wait(id)
+		}
+	})
+	parties[2].Deregister()
+
+	s := in.Snapshot()
+	if s.Elastic == nil {
+		t.Fatal("Snapshot().Elastic = nil for a phaser behind a watchdog")
+	}
+	e := *s.Elastic
+	if e.Registered != 2 || e.Capacity != 4 || e.Registers != 3 || e.Deregisters != 1 || e.Phase != 4 {
+		t.Errorf("Elastic = %+v, want registered=2 capacity=4 registers=3 deregisters=1 phase=4", e)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`armbarrier_registered_parties{barrier="phaser"} 2`,
+		`armbarrier_party_capacity{barrier="phaser"} 4`,
+		`armbarrier_register_total{barrier="phaser"} 3`,
+		`armbarrier_deregister_total{barrier="phaser"} 1`,
+		`armbarrier_phaser_phase_total{barrier="phaser"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// A fixed barrier exports no elastic families.
+	fixed := Instrument(barrier.New(2), Options{})
+	if fs := fixed.Snapshot(); fs.Elastic != nil {
+		t.Error("fixed barrier snapshot has Elastic")
+	}
+
+	// JSON round trip keeps the elastic block.
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Elastic == nil || *back.Elastic != e {
+		t.Errorf("JSON round trip elastic = %+v, want %+v", back.Elastic, e)
+	}
+
+	// Merge sums the counters and keeps the receiver's gauge.
+	m := s.Merge(s)
+	if m.Elastic == nil || m.Elastic.Registers != 6 || m.Elastic.Phase != 8 || m.Elastic.Registered != 2 {
+		t.Errorf("merged elastic = %+v", m.Elastic)
 	}
 }

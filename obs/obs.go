@@ -366,6 +366,52 @@ func (p ParticipantSnapshot) WaitQuantileNs(q float64) float64 {
 	return HistQuantileNs(p.WaitHist, q)
 }
 
+// elasticSource is the membership telemetry an elastic barrier
+// (barrier.Phaser) exposes: the live registration gauge plus the
+// monotonic register/deregister/phase counters.
+type elasticSource interface {
+	barrier.Membership
+	Phase() uint64
+	MembershipCounts() (registers, deregisters uint64)
+}
+
+// elasticSourceOf unwraps b through Inner() links (watchdogs, fault
+// injectors) until it finds an elasticSource, or nil. The Watchdog's
+// Membership delegation alone does not qualify — the counters must
+// come from the barrier that owns them.
+func elasticSourceOf(b barrier.Barrier) elasticSource {
+	for b != nil {
+		if es, ok := b.(elasticSource); ok {
+			return es
+		}
+		u, ok := b.(interface{ Inner() barrier.Barrier })
+		if !ok {
+			return nil
+		}
+		b = u.Inner()
+	}
+	return nil
+}
+
+// ElasticSnapshot is the membership telemetry of an elastic barrier at
+// Snapshot time. Present only when the instrumented barrier (or one it
+// decorates) has dynamic membership.
+//
+// Note that for elastic barriers the skew aggregates are approximate:
+// skew is folded in by slot 0, so rounds in which slot 0 is not
+// registered (or not the sampling arriver) contribute no skew sample,
+// and per-slot series mix successive occupants of a recycled slot.
+type ElasticSnapshot struct {
+	// Registered is the current membership; Capacity the slot ceiling.
+	Registered int `json:"registered"`
+	Capacity   int `json:"capacity"`
+	// Registers and Deregisters count lifetime membership changes.
+	Registers   uint64 `json:"registers"`
+	Deregisters uint64 `json:"deregisters"`
+	// Phase counts resolved epochs (the elastic analogue of rounds).
+	Phase uint64 `json:"phase"`
+}
+
 // SkewSnapshot aggregates the per-round arrival spread (last arrival
 // minus first arrival) across all completed rounds.
 type SkewSnapshot struct {
@@ -402,6 +448,9 @@ type Snapshot struct {
 	// Phases holds the per-(phase, level) series when Options.Phases is
 	// enabled and the barrier has probe hooks; nil otherwise.
 	Phases *PhaseSnapshot `json:"phases,omitempty"`
+	// Elastic holds membership telemetry when the barrier has dynamic
+	// membership (barrier.Phaser); nil otherwise.
+	Elastic *ElasticSnapshot `json:"elastic,omitempty"`
 }
 
 // Snapshot captures the current telemetry. Safe to call at any time,
@@ -424,6 +473,16 @@ func (in *Instrumented) Snapshot() Snapshot {
 	}
 	if in.phases != nil {
 		s.Phases = in.phases.snapshot()
+	}
+	if es := elasticSourceOf(in.inner); es != nil {
+		regs, deregs := es.MembershipCounts()
+		s.Elastic = &ElasticSnapshot{
+			Registered:  es.Registered(),
+			Capacity:    in.p,
+			Registers:   regs,
+			Deregisters: deregs,
+			Phase:       es.Phase(),
+		}
 	}
 	for id := range in.shards {
 		sh := &in.shards[id]
@@ -523,6 +582,22 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			Hist:   mergeHist(s.Skew.Hist, o.Skew.Hist),
 		},
 		Phases: s.Phases.merge(o.Phases),
+	}
+	if s.Elastic != nil || o.Elastic != nil {
+		// Counters sum across runs; the membership gauge keeps the
+		// receiver's value (a merged gauge has no single truth).
+		e := ElasticSnapshot{}
+		if s.Elastic != nil {
+			e = *s.Elastic
+		} else {
+			e.Registered, e.Capacity = o.Elastic.Registered, o.Elastic.Capacity
+		}
+		if o.Elastic != nil {
+			e.Registers += o.Elastic.Registers
+			e.Deregisters += o.Elastic.Deregisters
+			e.Phase += o.Elastic.Phase
+		}
+		out.Elastic = &e
 	}
 	for i := range s.PerParti {
 		a, b := s.PerParti[i], o.PerParti[i]

@@ -36,6 +36,18 @@ type Team struct {
 	// path instead of the barrier-separated combine.
 	col barrier.Collective
 	p   int
+	// ph and parties are set for elastic teams (NewElasticTeam): the
+	// phaser behind b and each tid's registration handle, indexed by
+	// tid up to the phaser's capacity. Resize registers/deregisters
+	// through them; both stay nil on fixed teams.
+	ph      *barrier.Phaser
+	parties []*barrier.Party
+	// shrinkTo is published by the master before the fork of a shrink
+	// control region (Resize with a smaller size): workers with
+	// tid >= shrinkTo deregister and exit instead of running the body.
+	// 0 means no shrink in progress; read by workers right after the
+	// fork, like work and closed.
+	shrinkTo int
 	// work and fusedJoin are published by the master before the fork
 	// barrier and captured by workers right after it. fusedJoin marks a
 	// region whose body itself ends with a team-wide collective episode;
@@ -125,6 +137,96 @@ func MustTeam(p int, b barrier.Barrier) *Team {
 	return t
 }
 
+// NewElasticTeam starts a team of p workers over a fresh
+// barrier.Phaser with room to Resize up to capacity members. The team
+// owns the phaser (tids are its slot ids); opts configure its wait
+// policy. Elastic teams have no fused collectives — Reduce* uses the
+// barrier-separated fallback.
+func NewElasticTeam(p, capacity int, opts ...barrier.Option) (*Team, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("omp: team size %d < 1", p)
+	}
+	if capacity < p {
+		return nil, fmt.Errorf("omp: phaser capacity %d < team size %d", capacity, p)
+	}
+	ph := barrier.NewPhaser(capacity, opts...)
+	t := &Team{b: ph, ph: ph, p: p}
+	t.parties = make([]*barrier.Party, capacity)
+	for tid := 0; tid < p; tid++ {
+		pt, err := ph.Register()
+		if err != nil {
+			return nil, err
+		}
+		t.parties[tid] = pt
+	}
+	t.progress = make([]paddedProgress, capacity)
+	t.fusedDone = make([]fusedFlag, capacity)
+	t.started.Add(p - 1)
+	for id := 1; id < p; id++ {
+		go t.worker(id)
+	}
+	t.started.Wait()
+	return t, nil
+}
+
+// Resize grows or shrinks an elastic team to q workers, between
+// regions (master-only, like every Team method). Growing registers new
+// parties and spawns their workers — if a fork round is already in
+// flight (workers pre-arrive as soon as the previous join resolves),
+// the registration's pre-claimed arrival covers the newcomer and it
+// runs its first body in the very next region. Shrinking runs one
+// no-op control region during which workers tid >= q deregister and
+// exit; when Resize returns they are gone. Fixed teams return an
+// error.
+func (t *Team) Resize(q int) error {
+	if t.ph == nil {
+		return fmt.Errorf("omp: Resize on a fixed team (barrier %s)", t.b.Name())
+	}
+	if t.closed {
+		return fmt.Errorf("omp: Resize on a closed team")
+	}
+	if q < 1 || q > t.ph.Participants() {
+		return fmt.Errorf("omp: Resize(%d) outside [1, %d]", q, t.ph.Participants())
+	}
+	switch {
+	case q == t.p:
+		return nil
+	case q > t.p:
+		for tid := t.p; tid < q; tid++ {
+			pt, err := t.ph.Register()
+			if err != nil {
+				t.p = tid // the already-spawned newcomers are full members
+				return fmt.Errorf("omp: Resize(%d) grew to %d: %w", q, tid, err)
+			}
+			if pt.ID() != tid {
+				// The team owns its phaser, so slots allocate in tid
+				// order; an off-order slot means external registrations.
+				pt.Deregister()
+				t.p = tid
+				return fmt.Errorf("omp: Resize: phaser handed slot %d, want %d (external parties?)", pt.ID(), tid)
+			}
+			t.parties[tid] = pt
+			// Start the newcomer's progress at the forked-region count
+			// so it is not mistaken for a worker stuck since region 0.
+			t.progress[tid].v.Store(t.regions)
+			t.started.Add(1)
+			go t.worker(tid)
+		}
+		t.p = q
+		t.started.Wait()
+		return nil
+	default: // q < t.p
+		t.shrinkTo = q
+		t.region(func(int) {}, false)
+		t.shrinkTo = 0
+		for tid := q; tid < t.p; tid++ {
+			t.parties[tid] = nil
+		}
+		t.p = q
+		return nil
+	}
+}
+
 // worker runs the fork/join loop: wait at the fork barrier for the
 // master to publish work, run it, then meet everyone at the join
 // barrier (the OpenMP implicit barrier).
@@ -144,6 +246,15 @@ func (t *Team) workerLoop(id int) {
 	for {
 		t.b.Wait(id) // fork: master has published t.work / t.closed
 		if t.closed {
+			return
+		}
+		if s := t.shrinkTo; s > 0 && id >= s {
+			// Shrink control region: leave the team. Deregistering —
+			// instead of arriving at the join — lets the phaser absorb
+			// this worker's pending arrival, so the survivors' join
+			// resolves without it and the master's region() returning
+			// means every leaver is gone.
+			t.parties[id].Deregister()
 			return
 		}
 		work, fused := t.work, t.fusedJoin

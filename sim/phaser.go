@@ -1,0 +1,184 @@
+package sim
+
+// PhaserModel is the sequential reference specification of
+// barrier.Phaser's elastic-membership protocol, for property tests: a
+// driver applies the same randomized register / deregister / arrive
+// script to the model and to the real phaser and checks that phases,
+// membership and release sets agree. The model is deliberately naive —
+// maps, recomputed counts, no concurrency — so its correctness is
+// readable off the page:
+//
+//   - arrived  = parties with an outstanding claim (registered while a
+//     round was in flight, claim not yet consumed) + parties waiting
+//     without one
+//   - a round resolves exactly when arrived == active and arrived > 0;
+//     resolution releases every waiting party and consumes every claim
+//   - a party's first Arrive after a mid-round registration does not
+//     arrive: it waits out the registration round (or returns
+//     immediately, if that round already resolved)
+//
+// The package does not import armbarrier/barrier, so the real
+// package's tests can import the model without a cycle.
+
+import "fmt"
+
+// phaserModelParty is one registered party's model state.
+type phaserModelParty struct {
+	// pendingFirst is set by a mid-round registration and cleared by
+	// the party's first Arrive; regPhase is the model phase at
+	// registration. While pendingFirst && regPhase == phase the party
+	// holds an outstanding claim: its arrival for the in-flight round
+	// is pre-counted.
+	pendingFirst bool
+	regPhase     uint64
+	// waiting is true between the party's Arrive and its release;
+	// vicarious marks a waiting party whose wait is the claim being
+	// waited out (it contributed no arrival of its own).
+	waiting   bool
+	vicarious bool
+}
+
+// PhaserModel is the reference model. Not safe for concurrent use —
+// that is the point.
+type PhaserModel struct {
+	capacity int
+	phase    uint64
+	parties  map[int]*phaserModelParty
+}
+
+// NewPhaserModel builds an empty model with the given slot capacity.
+func NewPhaserModel(capacity int) *PhaserModel {
+	if capacity < 1 {
+		panic("sim: PhaserModel capacity < 1")
+	}
+	return &PhaserModel{capacity: capacity, parties: make(map[int]*phaserModelParty)}
+}
+
+// Phase returns the number of resolved rounds.
+func (m *PhaserModel) Phase() uint64 { return m.phase }
+
+// Registered returns the live membership count.
+func (m *PhaserModel) Registered() int { return len(m.parties) }
+
+// IsMember reports whether slot id holds a party.
+func (m *PhaserModel) IsMember(id int) bool { _, ok := m.parties[id]; return ok }
+
+// Waiting reports whether party id is blocked in an unreleased Arrive.
+func (m *PhaserModel) Waiting(id int) bool {
+	p, ok := m.parties[id]
+	return ok && p.waiting
+}
+
+// claim reports whether p holds an outstanding claim on the current
+// round.
+func (m *PhaserModel) claim(p *phaserModelParty) bool {
+	return (p.pendingFirst || p.vicarious) && p.regPhase == m.phase
+}
+
+// Arrived returns the in-flight round's arrival count — the model
+// counterpart of the packed word's arrived field.
+func (m *PhaserModel) Arrived() int {
+	a := 0
+	for _, p := range m.parties {
+		switch {
+		case m.claim(p):
+			a++
+		case p.waiting:
+			a++
+		}
+	}
+	return a
+}
+
+// Register adds a party on the smallest free slot. If a round is in
+// flight the registration pre-claims an arrival for it. Registration
+// can never resolve a round.
+func (m *PhaserModel) Register() (int, error) {
+	id := -1
+	for i := 0; i < m.capacity; i++ {
+		if _, used := m.parties[i]; !used {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		return -1, fmt.Errorf("sim: phaser model: capacity %d exhausted", m.capacity)
+	}
+	m.parties[id] = &phaserModelParty{
+		pendingFirst: m.Arrived() > 0,
+		regPhase:     m.phase,
+	}
+	return id, nil
+}
+
+// Deregister removes an idle party. If every remaining party had
+// arrived, the removal resolves the round; the released party ids are
+// returned in ascending slot order.
+func (m *PhaserModel) Deregister(id int) ([]int, error) {
+	p, ok := m.parties[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: phaser model: Deregister of unregistered party %d", id)
+	}
+	if p.waiting {
+		return nil, fmt.Errorf("sim: phaser model: Deregister of waiting party %d", id)
+	}
+	delete(m.parties, id)
+	return m.maybeResolve(), nil
+}
+
+// Arrive is party id's Wait: the party blocks until released. The
+// returned slice lists the parties this operation released — everyone,
+// if the arrival resolved the round; just id, if a consumed
+// registration claim made the wait a no-op; empty otherwise.
+func (m *PhaserModel) Arrive(id int) ([]int, error) {
+	p, ok := m.parties[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: phaser model: Arrive of unregistered party %d", id)
+	}
+	if p.waiting {
+		return nil, fmt.Errorf("sim: phaser model: Arrive of already-waiting party %d", id)
+	}
+	if p.pendingFirst {
+		p.pendingFirst = false
+		if p.regPhase != m.phase {
+			// The registration round resolved before the first Arrive:
+			// the wait returns immediately.
+			return []int{id}, nil
+		}
+		p.waiting, p.vicarious = true, true
+		return nil, nil // the claim already counted; nothing new arrives
+	}
+	p.waiting = true
+	return m.maybeResolve(), nil
+}
+
+// maybeResolve checks the resolution condition and, when met, releases
+// every waiting party and consumes every claim.
+func (m *PhaserModel) maybeResolve() []int {
+	a := m.Arrived()
+	if a == 0 || a != len(m.parties) {
+		return nil
+	}
+	var released []int
+	for id, p := range m.parties {
+		if p.waiting {
+			released = append(released, id)
+			p.waiting, p.vicarious = false, false
+		}
+		// Claims of never-arrived pendingFirst parties are consumed by
+		// the phase advance itself (regPhase falls behind).
+	}
+	m.phase++
+	sortInts(released)
+	return released
+}
+
+// sortInts is a tiny insertion sort; release sets are at most capacity
+// long and capacity is small in every property test.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

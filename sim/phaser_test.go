@@ -1,0 +1,127 @@
+package sim
+
+import "testing"
+
+// The model's own sanity checks: the scripted scenarios the real
+// phaser's unit tests pin, replayed against the specification.
+
+func TestPhaserModelBasicRound(t *testing.T) {
+	m := NewPhaserModel(4)
+	a, _ := m.Register()
+	b, _ := m.Register()
+	if rel, err := m.Arrive(a); err != nil || len(rel) != 0 {
+		t.Fatalf("first arrival: rel=%v err=%v", rel, err)
+	}
+	rel, err := m.Arrive(b)
+	if err != nil || len(rel) != 2 || rel[0] != a || rel[1] != b {
+		t.Fatalf("resolving arrival: rel=%v err=%v", rel, err)
+	}
+	if m.Phase() != 1 {
+		t.Fatalf("phase = %d, want 1", m.Phase())
+	}
+}
+
+func TestPhaserModelMidRoundRegister(t *testing.T) {
+	m := NewPhaserModel(4)
+	a, _ := m.Register()
+	b, _ := m.Register()
+	m.Arrive(a)
+	c, _ := m.Register() // mid-round: claims an arrival
+	if m.Arrived() != 2 {
+		t.Fatalf("arrived = %d, want 2 (one real, one claim)", m.Arrived())
+	}
+	rel, _ := m.Arrive(b) // resolves round 0 without c arriving
+	if len(rel) != 2 || m.Phase() != 1 {
+		t.Fatalf("rel=%v phase=%d", rel, m.Phase())
+	}
+	// c's first arrive is a no-op pass-through (claim consumed).
+	rel, _ = m.Arrive(c)
+	if len(rel) != 1 || rel[0] != c || m.Phase() != 1 {
+		t.Fatalf("consumed-claim arrive: rel=%v phase=%d", rel, m.Phase())
+	}
+	// Round 1 needs all three.
+	m.Arrive(a)
+	m.Arrive(b)
+	if m.Phase() != 1 {
+		t.Fatal("round 1 resolved without c")
+	}
+	rel, _ = m.Arrive(c)
+	if len(rel) != 3 || m.Phase() != 2 {
+		t.Fatalf("round 1: rel=%v phase=%d", rel, m.Phase())
+	}
+}
+
+func TestPhaserModelVicariousWait(t *testing.T) {
+	m := NewPhaserModel(4)
+	a, _ := m.Register()
+	b, _ := m.Register()
+	m.Arrive(a)
+	c, _ := m.Register()
+	// c arrives while its registration round is still in flight: it
+	// waits vicariously, adding no arrival.
+	if rel, _ := m.Arrive(c); len(rel) != 0 {
+		t.Fatalf("vicarious arrive released %v", rel)
+	}
+	if m.Arrived() != 2 {
+		t.Fatalf("arrived = %d, want 2", m.Arrived())
+	}
+	rel, _ := m.Arrive(b)
+	if len(rel) != 3 || m.Phase() != 1 {
+		t.Fatalf("rel=%v phase=%d (vicarious waiter must release too)", rel, m.Phase())
+	}
+}
+
+func TestPhaserModelDeregisterAbsorbs(t *testing.T) {
+	m := NewPhaserModel(4)
+	a, _ := m.Register()
+	b, _ := m.Register()
+	c, _ := m.Register()
+	m.Arrive(a)
+	m.Arrive(b)
+	rel, err := m.Deregister(c)
+	if err != nil || len(rel) != 2 || m.Phase() != 1 {
+		t.Fatalf("absorbing deregister: rel=%v err=%v phase=%d", rel, err, m.Phase())
+	}
+	if m.Registered() != 2 {
+		t.Fatalf("registered = %d, want 2", m.Registered())
+	}
+}
+
+func TestPhaserModelClaimWithdrawn(t *testing.T) {
+	m := NewPhaserModel(4)
+	a, _ := m.Register()
+	b, _ := m.Register()
+	m.Arrive(a)
+	c, _ := m.Register()
+	rel, err := m.Deregister(c) // withdraw the claim: must not resolve
+	if err != nil || len(rel) != 0 || m.Phase() != 0 {
+		t.Fatalf("claim withdrawal: rel=%v err=%v phase=%d", rel, err, m.Phase())
+	}
+	rel, _ = m.Arrive(b)
+	if len(rel) != 2 || m.Phase() != 1 {
+		t.Fatalf("after withdrawal: rel=%v phase=%d", rel, m.Phase())
+	}
+}
+
+func TestPhaserModelContractErrors(t *testing.T) {
+	m := NewPhaserModel(2)
+	a, _ := m.Register()
+	if _, err := m.Arrive(99); err == nil {
+		t.Fatal("Arrive of unregistered party did not error")
+	}
+	if _, err := m.Deregister(99); err == nil {
+		t.Fatal("Deregister of unregistered party did not error")
+	}
+	m.Register()
+	m.Arrive(a)
+	if _, err := m.Arrive(a); err == nil {
+		t.Fatal("double Arrive did not error")
+	}
+	if _, err := m.Deregister(a); err == nil {
+		t.Fatal("Deregister of waiting party did not error")
+	}
+	m.Register() // capacity 2, both used
+	if _, err := m.Register(); err == nil {
+		t.Fatal("Register beyond capacity did not error")
+	}
+}
